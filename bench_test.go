@@ -1,0 +1,412 @@
+package paradet
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (one testing.B per artefact; see DESIGN.md §4).
+// Benchmarks run reduced instruction samples so `go test -bench=. ` is
+// minutes, not hours; cmd/experiments runs the full-size sweeps. Figures
+// are reported through b.ReportMetric, so `-benchmem`-style tooling can
+// track the reproduced numbers over time.
+
+import (
+	"fmt"
+	"testing"
+)
+
+const benchInstrs = 40_000
+
+func benchWorkload(b *testing.B, name string) *Program {
+	b.Helper()
+	p, _, err := LoadWorkload(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = benchInstrs
+	return cfg
+}
+
+// BenchmarkTable1_DefaultConfig verifies and times a full protected run
+// at the paper's Table I configuration.
+func BenchmarkTable1_DefaultConfig(b *testing.B) {
+	p := benchWorkload(b, "stream")
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.IPC, "ipc")
+			b.ReportMetric(float64(res.Instructions)/float64(res.TimeNS)*1000, "simMIPS/usSim")
+		}
+	}
+}
+
+// BenchmarkTable2_Workloads runs every workload once per iteration
+// (protected), regenerating the Table II inventory.
+func BenchmarkTable2_Workloads(b *testing.B) {
+	for _, w := range Workloads() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			p := benchWorkload(b, w.Name)
+			cfg := benchConfig()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1d_SchemeComparison regenerates the lockstep / RMT /
+// paradet overhead triangle.
+func BenchmarkFig1d_SchemeComparison(b *testing.B) {
+	p := benchWorkload(b, "swaptions")
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		base, err := RunUnprotected(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prot, err := Run(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ls, err := RunLockstep(cfg, p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rm, err := RunRMT(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(prot.TimeNS/base.TimeNS, "slowdown/paradet")
+			b.ReportMetric(ls.TimeNS/base.TimeNS, "slowdown/lockstep")
+			b.ReportMetric(rm.TimeNS/base.TimeNS, "slowdown/rmt")
+		}
+	}
+}
+
+// BenchmarkFig7_Slowdown regenerates the per-benchmark slowdown at
+// standard settings (paper: mean 1.75%, max 3.4%).
+func BenchmarkFig7_Slowdown(b *testing.B) {
+	for _, w := range Workloads() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			p := benchWorkload(b, w.Name)
+			cfg := benchConfig()
+			for i := 0; i < b.N; i++ {
+				slow, _, _, err := Slowdown(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(slow, "slowdown")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8_DelayDistribution regenerates the detection-delay
+// density (paper: mean 770 ns, 99.9% under 5000 ns).
+func BenchmarkFig8_DelayDistribution(b *testing.B) {
+	for _, name := range []string{"randacc", "stream", "facesim"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			p := benchWorkload(b, name)
+			cfg := benchConfig()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Delay.MeanNS, "meanDelayNs")
+					b.ReportMetric(res.Delay.FracBelow5us*100, "pctBelow5us")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9_CheckerClock regenerates slowdown vs checker frequency
+// (paper: compute-bound codes degrade sharply below 500 MHz).
+func BenchmarkFig9_CheckerClock(b *testing.B) {
+	for _, hz := range []uint64{125_000_000, 500_000_000, 2_000_000_000} {
+		for _, name := range []string{"bitcount", "randacc"} {
+			hz, name := hz, name
+			b.Run(fmt.Sprintf("%s@%dMHz", name, hz/1_000_000), func(b *testing.B) {
+				p := benchWorkload(b, name)
+				cfg := benchConfig()
+				cfg.CheckerHz = hz
+				for i := 0; i < b.N; i++ {
+					slow, _, _, err := Slowdown(cfg, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(slow, "slowdown")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10_CheckpointOnly regenerates checkpoint-only slowdown
+// across log sizes/timeouts (paper: <=2% at 36 KiB, up to 15% at 3.6 KiB).
+func BenchmarkFig10_CheckpointOnly(b *testing.B) {
+	configs := []struct {
+		label   string
+		bytes   int
+		timeout uint64
+	}{
+		{"3.6KiB-500", 3686, 500},
+		{"36KiB-5000", 36 * 1024, 5000},
+		{"360KiB-inf", 360 * 1024, NoTimeout},
+	}
+	for _, c := range configs {
+		c := c
+		b.Run(c.label, func(b *testing.B) {
+			p := benchWorkload(b, "fluidanimate")
+			cfg := benchConfig()
+			cfg.LogBytes = c.bytes
+			cfg.TimeoutInstrs = c.timeout
+			cfg.DisableCheckers = true
+			for i := 0; i < b.N; i++ {
+				slow, _, _, err := Slowdown(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(slow, "slowdown")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11_DelayVsClock regenerates mean/max delay vs checker
+// frequency (paper: mean halves per clock doubling).
+func BenchmarkFig11_DelayVsClock(b *testing.B) {
+	for _, hz := range []uint64{250_000_000, 1_000_000_000} {
+		hz := hz
+		b.Run(fmt.Sprintf("stream@%dMHz", hz/1_000_000), func(b *testing.B) {
+			p := benchWorkload(b, "stream")
+			cfg := benchConfig()
+			cfg.CheckerHz = hz
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Delay.MeanNS, "meanDelayNs")
+					b.ReportMetric(res.Delay.MaxNS, "maxDelayNs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12_DelayVsLogSize regenerates mean/max delay vs log size
+// and timeout (paper: mean scales linearly with log size).
+func BenchmarkFig12_DelayVsLogSize(b *testing.B) {
+	configs := []struct {
+		label   string
+		bytes   int
+		timeout uint64
+	}{
+		{"3.6KiB-500", 3686, 500},
+		{"36KiB-5000", 36 * 1024, 5000},
+		{"360KiB-50000", 360 * 1024, 50000},
+	}
+	for _, c := range configs {
+		c := c
+		b.Run(c.label, func(b *testing.B) {
+			p := benchWorkload(b, "freqmine")
+			cfg := benchConfig()
+			cfg.LogBytes = c.bytes
+			cfg.TimeoutInstrs = c.timeout
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Delay.MeanNS, "meanDelayNs")
+					b.ReportMetric(res.Delay.MaxNS, "maxDelayNs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13_CoreScaling regenerates slowdown vs checker core count
+// (paper: N cores @ M MHz ~ 2N @ M/2).
+func BenchmarkFig13_CoreScaling(b *testing.B) {
+	configs := []struct {
+		label    string
+		checkers int
+		hz       uint64
+	}{
+		{"3c-1GHz", 3, 1_000_000_000},
+		{"6c-1GHz", 6, 1_000_000_000},
+		{"12c-500MHz", 12, 500_000_000},
+		{"12c-1GHz", 12, 1_000_000_000},
+	}
+	for _, c := range configs {
+		c := c
+		b.Run(c.label, func(b *testing.B) {
+			p := benchWorkload(b, "swaptions")
+			cfg := benchConfig()
+			cfg.NumCheckers = c.checkers
+			cfg.CheckerHz = c.hz
+			cfg.LogBytes = c.checkers * 3 * 1024
+			for i := 0; i < b.N; i++ {
+				slow, _, _, err := Slowdown(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(slow, "slowdown")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSec6B_Area and BenchmarkSec6C_Power regenerate the analytic
+// overhead numbers (paper: ~24% area, ~16% with L2, ~16% power).
+func BenchmarkSec6B_Area(b *testing.B) {
+	cfg := DefaultConfig()
+	var r AreaPowerReport
+	for i := 0; i < b.N; i++ {
+		r = AreaPower(cfg)
+	}
+	b.ReportMetric(r.AreaOverhead*100, "areaPct")
+	b.ReportMetric(r.AreaOverheadWithL2*100, "areaPctWithL2")
+}
+
+func BenchmarkSec6C_Power(b *testing.B) {
+	cfg := DefaultConfig()
+	var r AreaPowerReport
+	for i := 0; i < b.N; i++ {
+		r = AreaPower(cfg)
+	}
+	b.ReportMetric(r.PowerOverhead*100, "powerPct")
+}
+
+// BenchmarkFaultCampaign measures end-to-end fault-injection throughput
+// (not a paper figure, but the coverage claim behind §IV).
+func BenchmarkFaultCampaign(b *testing.B) {
+	p := MustAssemble(faultKernel)
+	cfg := faultConfig()
+	for i := 0; i < b.N; i++ {
+		camp, err := RunCampaign(cfg, p, 5, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if camp.Counts[OutcomeSilent] > 0 {
+			b.Fatal("silent corruption inside the sphere")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput tracks raw simulation speed (committed
+// instructions per wall second) for engineering regressions.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p := benchWorkload(b, "fluidanimate")
+	cfg := benchConfig()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// ---- Ablations (design-choice sensitivity, DESIGN.md §4) ----
+
+// BenchmarkAblation_CheckpointCost sweeps the register-checkpoint commit
+// pause, the design parameter behind the paper's 16-cycle assumption.
+func BenchmarkAblation_CheckpointCost(b *testing.B) {
+	for _, cycles := range []int64{0, 16, 64} {
+		cycles := cycles
+		b.Run(fmt.Sprintf("%dcyc", cycles), func(b *testing.B) {
+			p := benchWorkload(b, "bodytrack")
+			cfg := benchConfig()
+			cfg.CheckpointCycles = cycles
+			for i := 0; i < b.N; i++ {
+				slow, _, _, err := Slowdown(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(slow, "slowdown")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Timeout sweeps the segment instruction timeout on the
+// two-phase bitcount kernel (the paper's §VI-A example of timeouts
+// rescuing worst-case latency on store-free instruction runs).
+func BenchmarkAblation_Timeout(b *testing.B) {
+	for _, timeout := range []uint64{1000, 5000, NoTimeout} {
+		timeout := timeout
+		label := fmt.Sprintf("%d", timeout)
+		if timeout == NoTimeout {
+			label = "inf"
+		}
+		b.Run(label, func(b *testing.B) {
+			p := benchWorkload(b, "bitcount")
+			cfg := benchConfig()
+			cfg.MaxInstrs = 120_000
+			cfg.TimeoutInstrs = timeout
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Delay.MaxNS, "maxDelayNs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_InterruptRate measures the cost of interrupt-boundary
+// checkpoints (§IV-G): even a 10 us tick is negligible.
+func BenchmarkAblation_InterruptRate(b *testing.B) {
+	for _, ns := range []uint64{0, 100_000, 10_000} {
+		ns := ns
+		b.Run(fmt.Sprintf("%dns", ns), func(b *testing.B) {
+			p := benchWorkload(b, "stream")
+			cfg := benchConfig()
+			cfg.InterruptIntervalNS = ns
+			for i := 0; i < b.N; i++ {
+				slow, _, _, err := Slowdown(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(slow, "slowdown")
+				}
+			}
+		})
+	}
+}

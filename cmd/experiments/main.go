@@ -1,0 +1,49 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (DSN 2018, Ainsworth & Jones). Each figure is printed as a text
+// table with the paper's headline expectation quoted above it.
+//
+// Usage:
+//
+//	experiments                 # run everything at default samples
+//	experiments -run fig9       # one experiment
+//	experiments -instrs 40000   # faster, smaller samples
+//	experiments -workloads stream,randacc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"paradet/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, or one of "+
+		strings.Join(experiments.Names(), ", "))
+	instrs := flag.Uint64("instrs", 0, "committed-instruction sample per run (0 = workload default)")
+	wl := flag.String("workloads", "", "comma-separated workload subset (default: all nine)")
+	flag.Parse()
+
+	opts := experiments.Options{MaxInstrs: *instrs}
+	if *wl != "" {
+		opts.Workloads = strings.Split(*wl, ",")
+	}
+
+	names := experiments.Names()
+	if *run != "all" {
+		names = []string{*run}
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := experiments.RunByName(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("  [%s took %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,167 @@
+// Command hetsim runs one workload (or a PDX64 assembly file) on the
+// simulated heterogeneous error-detection system and prints a report.
+//
+// Usage:
+//
+//	hetsim -workload stream
+//	hetsim -workload randacc -checkers 6 -checker-mhz 500 -log-kib 18
+//	hetsim -asm prog.s -instrs 100000
+//	hetsim -workload bitcount -fault store-value:40:5
+//	hetsim -workload stream -baseline lockstep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"paradet"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload name (see -list)")
+	asmFile := flag.String("asm", "", "PDX64 assembly file to run instead of a workload")
+	list := flag.Bool("list", false, "list workloads and exit")
+	instrs := flag.Uint64("instrs", 0, "committed-instruction budget (0 = workload default)")
+	checkers := flag.Int("checkers", 12, "number of checker cores")
+	checkerMHz := flag.Uint64("checker-mhz", 1000, "checker core clock in MHz")
+	logKiB := flag.Int("log-kib", 36, "total load-store log size in KiB")
+	timeout := flag.Uint64("timeout", 5000, "segment instruction timeout (0 = infinite)")
+	baseline := flag.String("baseline", "", "also run a baseline: lockstep, rmt, or unprotected")
+	faultSpec := flag.String("fault", "", "inject a fault: target:seq:bit[:sticky], e.g. store-value:40:5")
+	flag.Parse()
+
+	if *list {
+		for _, w := range paradet.Workloads() {
+			fmt.Printf("%-14s %-8s %-16s %s\n", w.Name, w.Suite, w.Class, w.Description)
+		}
+		return
+	}
+
+	prog, name, def, err := loadProgram(*workload, *asmFile)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := paradet.DefaultConfig()
+	cfg.NumCheckers = *checkers
+	cfg.CheckerHz = *checkerMHz * 1_000_000
+	cfg.LogBytes = *logKiB * 1024
+	if *timeout == 0 {
+		cfg.TimeoutInstrs = paradet.NoTimeout
+	} else {
+		cfg.TimeoutInstrs = *timeout
+	}
+	cfg.MaxInstrs = *instrs
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = def
+	}
+
+	var faults []paradet.Fault
+	if *faultSpec != "" {
+		f, err := parseFault(*faultSpec)
+		if err != nil {
+			fail(err)
+		}
+		faults = append(faults, f)
+	}
+
+	res, err := paradet.RunWithFaults(cfg, prog, faults)
+	if err != nil {
+		fail(err)
+	}
+	base, err := paradet.RunUnprotected(cfg, prog)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload %s: %d instructions\n", name, res.Instructions)
+	fmt.Printf("  unprotected: %12.1f us  (IPC %.2f)\n", base.TimeNS/1000, base.IPC)
+	fmt.Printf("  protected:   %12.1f us  (slowdown %.4f)\n", res.TimeNS/1000, res.TimeNS/base.TimeNS)
+	fmt.Printf("  detection delay: mean %.0f ns, max %.1f us, %.3f%% < 5 us\n",
+		res.Delay.MeanNS, res.Delay.MaxNS/1000, res.Delay.FracBelow5us*100)
+	fmt.Printf("  checkpoints: %d (%v), log entries: %d, log-full stalls: %d cycles\n",
+		res.Checkpoints, res.SealsByReason, res.EntriesLogged, res.LogFullStallCycles)
+	if len(res.CheckerUtilization) > 0 {
+		var sum float64
+		for _, u := range res.CheckerUtilization {
+			sum += u
+		}
+		fmt.Printf("  mean checker utilisation: %.1f%%\n", sum/float64(len(res.CheckerUtilization))*100)
+	}
+	if res.FirstError != nil {
+		fmt.Printf("  ERROR DETECTED: %s at segment %d inst %d (t=%.0f ns): %s\n",
+			res.FirstError.Kind, res.FirstError.SegmentSeq, res.FirstError.InstSeq,
+			res.FirstError.DetectedNS, res.FirstError.Detail)
+	} else if len(faults) > 0 {
+		fmt.Printf("  no error detected (fault masked or out of sphere)\n")
+	}
+
+	switch *baseline {
+	case "":
+	case "unprotected":
+		// already printed
+	case "lockstep":
+		b, err := paradet.RunLockstep(cfg, prog, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  lockstep:    %12.1f us  (slowdown %.4f, delay %.1f ns)\n",
+			b.TimeNS/1000, b.TimeNS/base.TimeNS, b.MeanDelayNS)
+	case "rmt":
+		b, err := paradet.RunRMT(cfg, prog)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  rmt:         %12.1f us  (slowdown %.4f, delay %.1f ns)\n",
+			b.TimeNS/1000, b.TimeNS/base.TimeNS, b.MeanDelayNS)
+	default:
+		fail(fmt.Errorf("unknown baseline %q", *baseline))
+	}
+}
+
+func loadProgram(workload, asmFile string) (*paradet.Program, string, uint64, error) {
+	switch {
+	case workload != "" && asmFile != "":
+		return nil, "", 0, fmt.Errorf("give either -workload or -asm, not both")
+	case workload != "":
+		p, info, err := paradet.LoadWorkload(workload)
+		return p, workload, info.DefaultMaxInstrs, err
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		p, err := paradet.Assemble(string(src))
+		return p, asmFile, 1_000_000, err
+	default:
+		return nil, "", 0, fmt.Errorf("need -workload or -asm (try -list)")
+	}
+}
+
+func parseFault(spec string) (paradet.Fault, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 {
+		return paradet.Fault{}, fmt.Errorf("fault spec %q: want target:seq:bit[:sticky]", spec)
+	}
+	seq, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return paradet.Fault{}, fmt.Errorf("fault seq: %w", err)
+	}
+	bit, err := strconv.ParseUint(parts[2], 10, 8)
+	if err != nil {
+		return paradet.Fault{}, fmt.Errorf("fault bit: %w", err)
+	}
+	f := paradet.Fault{Target: paradet.FaultTarget(parts[0]), Seq: seq, Bit: uint8(bit)}
+	if len(parts) > 3 && parts[3] == "sticky" {
+		f.Sticky = true
+	}
+	return f, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hetsim:", err)
+	os.Exit(1)
+}

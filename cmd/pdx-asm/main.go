@@ -1,0 +1,82 @@
+// Command pdx-asm assembles PDX64 source files and disassembles images,
+// the toolchain front door for writing new workloads.
+//
+// Usage:
+//
+//	pdx-asm prog.s               # assemble, report size and symbols
+//	pdx-asm -d prog.s            # assemble then disassemble
+//	pdx-asm -run prog.s          # assemble and execute functionally
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"paradet/internal/asm"
+	"paradet/internal/isa"
+	"paradet/internal/mem"
+	"paradet/internal/trace"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "disassemble after assembling")
+	run := flag.Bool("run", false, "execute functionally and print outputs")
+	maxInstrs := flag.Uint64("max-instrs", 10_000_000, "functional execution budget")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pdx-asm [-d] [-run] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("assembled %d bytes at %#x, entry %#x\n", len(prog.Image), prog.Origin, prog.Entry)
+
+	syms := make([]string, 0, len(prog.Symbols))
+	for s := range prog.Symbols {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return prog.Symbols[syms[i]] < prog.Symbols[syms[j]] })
+	for _, s := range syms {
+		fmt.Printf("  %#08x %s\n", prog.Symbols[s], s)
+	}
+
+	if *disasm {
+		for addr := prog.Origin; addr < prog.End(); addr += 4 {
+			w, _ := prog.Word(addr)
+			in, err := isa.Decode(w)
+			if err != nil {
+				fmt.Printf("%#08x: %08x  <data>\n", addr, w)
+				continue
+			}
+			fmt.Printf("%#08x: %08x  %s\n", addr, w, in)
+		}
+	}
+
+	if *run {
+		oracle := trace.NewOracle(prog, mem.NewSparse(), *maxInstrs)
+		var di isa.DynInst
+		for oracle.Next(&di) {
+		}
+		if oracle.Err != nil {
+			fmt.Printf("program fault: %v\n", oracle.Err)
+		}
+		fmt.Printf("executed %d instructions\n", oracle.M.InstCount)
+		for i, v := range oracle.Env.Output {
+			fmt.Printf("output[%d] = %d (%#x)\n", i, v, v)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pdx-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Baselines: reproduce the paper's Fig. 1(d) story on real runs — the
+// three-way trade between dual-core lockstep (area+energy), redundant
+// multithreading (energy+performance) and heterogeneous parallel error
+// detection (small everything, at the cost of detection latency).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paradet"
+)
+
+func main() {
+	for _, name := range []string{"bitcount", "randacc"} {
+		prog, info, err := paradet.LoadWorkload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := paradet.DefaultConfig()
+		cfg.MaxInstrs = info.DefaultMaxInstrs / 2
+
+		base, err := paradet.RunUnprotected(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prot, err := paradet.Run(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ls, err := paradet.RunLockstep(cfg, prog, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rm, err := paradet.RunRMT(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		ap := paradet.AreaPower(cfg)
+		apLS := paradet.AreaPowerLockstep(cfg)
+		apRMT := paradet.AreaPowerRMT(cfg, 2.0)
+
+		fmt.Printf("%s (%s):\n", name, info.Class)
+		fmt.Printf("  %-10s %10s %8s %8s %14s\n", "scheme", "slowdown", "area", "power", "detect delay")
+		row := func(scheme string, t float64, area, power float64, delay float64) {
+			fmt.Printf("  %-10s %9.3fx %7.0f%% %7.0f%% %11.1f ns\n",
+				scheme, t/base.TimeNS, area*100, power*100, delay)
+		}
+		row("lockstep", ls.TimeNS, apLS.AreaOverhead, apLS.PowerOverhead, ls.MeanDelayNS)
+		row("rmt", rm.TimeNS, apRMT.AreaOverhead, apRMT.PowerOverhead, rm.MeanDelayNS)
+		row("paradet", prot.TimeNS, ap.AreaOverhead, ap.PowerOverhead, prot.Delay.MeanNS)
+		fmt.Println()
+	}
+	fmt.Println("the paper's Fig. 1(d) in numbers: lockstep pays silicon, RMT pays")
+	fmt.Println("time and energy, parallel detection pays only detection latency.")
+}

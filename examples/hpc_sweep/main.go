@@ -1,0 +1,57 @@
+// HPC sweep: explore the checker-frequency x log-size design space for
+// the two HPCC kernels (randacc and stream), the paper's memory-bound
+// extremes. HPC systems checkpoint at minute granularity (§VI), so the
+// question is purely how little checker hardware keeps the slowdown
+// negligible — this sweep finds the frontier.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paradet"
+)
+
+func main() {
+	freqs := []uint64{125, 250, 500, 1000, 2000} // MHz
+	logs := []int{9, 18, 36, 72}                 // KiB
+
+	for _, name := range []string{"randacc", "stream"} {
+		prog, info, err := paradet.LoadWorkload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := paradet.DefaultConfig()
+		cfg.MaxInstrs = info.DefaultMaxInstrs / 2
+		base, err := paradet.RunUnprotected(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s (%s): slowdown / mean detection delay\n", name, info.Class)
+		fmt.Printf("  %10s", "")
+		for _, kib := range logs {
+			fmt.Printf("%16dKiB", kib)
+		}
+		fmt.Println()
+		for _, mhz := range freqs {
+			fmt.Printf("  %7dMHz", mhz)
+			for _, kib := range logs {
+				c := cfg
+				c.CheckerHz = mhz * 1_000_000
+				c.LogBytes = kib * 1024
+				res, err := paradet.Run(c, prog)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %6.3fx %6.1fus",
+					res.TimeNS/base.TimeNS, res.Delay.MeanNS/1000)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("reading the frontier: memory-bound kernels tolerate slow checkers")
+	fmt.Println("(left column) because segment fill time, not checking, dominates;")
+	fmt.Println("larger logs trade detection latency for checkpoint overhead.")
+}

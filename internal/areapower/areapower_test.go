@@ -1,0 +1,88 @@
+package areapower
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParadetMatchesPaperSection6B(t *testing.T) {
+	// §VI-B: "Twelve E51-sized cores would therefore fit in approximately
+	// 0.42mm² combined"; SRAM "80KiB in total, which is approximately
+	// 0.08mm²"; "approximately 24% area overhead... when a 1MiB
+	// single-ported L2... is also included, approximately 16%".
+	r := Paradet(12, 1000, 3200, 36*1024)
+	if math.Abs(r.CheckerAreaMM2-0.42) > 0.01 {
+		t.Errorf("checker area %.3f mm², paper says ~0.42", r.CheckerAreaMM2)
+	}
+	sram := DefaultSRAM(12, 36*1024)
+	if math.Abs(sram.Total()-80) > 10 {
+		t.Errorf("SRAM total %.1f KiB, paper says ~80", sram.Total())
+	}
+	if math.Abs(r.AreaOverhead-0.24) > 0.02 {
+		t.Errorf("area overhead %.3f, paper says ~0.24", r.AreaOverhead)
+	}
+	if math.Abs(r.AreaOverheadWithL2-0.16) > 0.02 {
+		t.Errorf("area overhead w/ L2 %.3f, paper says ~0.16", r.AreaOverheadWithL2)
+	}
+}
+
+func TestParadetMatchesPaperSection6C(t *testing.T) {
+	// §VI-C: "Using twelve small cores and without scaling for feature
+	// size, we obtain a power overhead of approximately 16%".
+	r := Paradet(12, 1000, 3200, 36*1024)
+	if math.Abs(r.PowerOverhead-0.16) > 0.01 {
+		t.Errorf("power overhead %.3f, paper says ~0.16", r.PowerOverhead)
+	}
+}
+
+func TestPowerScalesWithCheckerClock(t *testing.T) {
+	lo := Paradet(12, 500, 3200, 36*1024)
+	hi := Paradet(12, 2000, 3200, 36*1024)
+	if r := hi.PowerOverhead / lo.PowerOverhead; math.Abs(r-4) > 1e-9 {
+		t.Errorf("power must scale linearly with clock: ratio %v", r)
+	}
+}
+
+func TestAreaScalesWithCheckerCount(t *testing.T) {
+	six := Paradet(6, 1000, 3200, 18*1024)
+	twelve := Paradet(12, 1000, 3200, 36*1024)
+	if six.CheckerAreaMM2*2 != twelve.CheckerAreaMM2 {
+		t.Error("checker area must scale linearly with count")
+	}
+	if six.AddedAreaMM2 >= twelve.AddedAreaMM2 {
+		t.Error("halving the pool must shrink total added area")
+	}
+}
+
+func TestLockstepDoublesEverything(t *testing.T) {
+	r := Lockstep(3200)
+	if r.AreaOverhead != 1.0 || r.PowerOverhead != 1.0 {
+		t.Errorf("lockstep overheads %v/%v, want 1.0/1.0", r.AreaOverhead, r.PowerOverhead)
+	}
+}
+
+func TestRMTIsAreaCheapPowerExpensive(t *testing.T) {
+	r := RMT(3200, 2.0)
+	if r.AreaOverhead > 0.10 {
+		t.Errorf("RMT area overhead %.3f, want small", r.AreaOverhead)
+	}
+	if r.PowerOverhead != 1.0 {
+		t.Errorf("full duplication power overhead %.3f, want 1.0", r.PowerOverhead)
+	}
+}
+
+func TestFig1dOrdering(t *testing.T) {
+	// The comparison table's qualitative ordering must hold numerically.
+	pd := Paradet(12, 1000, 3200, 36*1024)
+	ls := Lockstep(3200)
+	rm := RMT(3200, 2.0)
+	if !(pd.AreaOverhead < ls.AreaOverhead) {
+		t.Error("paradet must beat lockstep on area")
+	}
+	if !(pd.PowerOverhead < ls.PowerOverhead && pd.PowerOverhead < rm.PowerOverhead) {
+		t.Error("paradet must beat both baselines on power")
+	}
+	if !(rm.AreaOverhead < pd.AreaOverhead) {
+		t.Error("RMT is the area floor")
+	}
+}

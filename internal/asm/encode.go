@@ -1,0 +1,521 @@
+package asm
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"paradet/internal/isa"
+)
+
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// parseReg parses an integer register name.
+func parseReg(s string) (isa.Reg, bool) {
+	switch strings.ToLower(s) {
+	case "xzr", "zero":
+		return isa.ZeroReg, true
+	case "sp":
+		return isa.RegSP, true
+	case "lr":
+		return isa.RegLR, true
+	}
+	if len(s) >= 2 && (s[0] == 'x' || s[0] == 'X') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 31 {
+			return isa.Reg(n), true
+		}
+	}
+	return 0, false
+}
+
+// parseFReg parses a floating-point register name.
+func parseFReg(s string) (isa.Reg, bool) {
+	if len(s) >= 2 && (s[0] == 'f' || s[0] == 'F') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumFPRegs {
+			return isa.Reg(n), true
+		}
+	}
+	return 0, false
+}
+
+// parseIntNoSyms parses a numeric literal (decimal, hex, octal, binary,
+// optionally negative).
+func (a *assembler) parseIntNoSyms(line int, s string) (int64, error) {
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return int64(v), nil
+	}
+	return 0, a.errf(line, "bad integer %q", s)
+}
+
+// parseInt parses a literal, a symbol, or symbol±literal.
+func (a *assembler) parseInt(line int, s string) (int64, error) {
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return int64(v), nil
+	}
+	// symbol, symbol+n, symbol-n
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			base, ok := a.symbols[s[:i]]
+			if !ok {
+				break
+			}
+			off, err := strconv.ParseInt(s[i:], 0, 64)
+			if err != nil {
+				break
+			}
+			return int64(base) + off, nil
+		}
+	}
+	if v, ok := a.symbols[s]; ok {
+		return int64(v), nil
+	}
+	return 0, a.errf(line, "undefined symbol or bad integer %q", s)
+}
+
+// parseMem parses "[reg]" or "[reg, imm]".
+func (a *assembler) parseMem(line int, s string) (isa.Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, a.errf(line, "expected memory operand [reg, imm], got %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	parts := strings.SplitN(inner, ",", 2)
+	base, ok := parseReg(strings.TrimSpace(parts[0]))
+	if !ok {
+		return 0, 0, a.errf(line, "bad base register in %q", s)
+	}
+	var off int64
+	if len(parts) == 2 {
+		var err error
+		off, err = a.parseInt(line, strings.TrimSpace(parts[1]))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return base, off, nil
+}
+
+// liChunks returns the 16-bit chunk indices that must be materialised for
+// a 64-bit constant; index 0 is always present (MOVZ clears the rest).
+func liChunks(v uint64) []uint {
+	chunks := []uint{0}
+	for sh := uint(1); sh < 4; sh++ {
+		if v>>(16*sh)&0xffff != 0 {
+			chunks = append(chunks, sh)
+		}
+	}
+	return chunks
+}
+
+// emitLI appends the movz/movk sequence for a 64-bit constant.
+func emitLI(buf []byte, rd isa.Reg, v uint64) []byte {
+	for i, sh := range liChunks(v) {
+		op := isa.OpMOVK
+		if i == 0 {
+			op = isa.OpMOVZ
+		}
+		imm := int64(sh)<<16 | int64(v>>(16*sh)&0xffff)
+		w, err := isa.Encode(isa.Inst{Op: op, Rd: rd, Imm: imm})
+		if err != nil {
+			panic("asm: internal li encode failure: " + err.Error())
+		}
+		buf = appendWord(buf, w)
+	}
+	return buf
+}
+
+func appendWord(b []byte, w uint32) []byte {
+	return append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+}
+
+// encodeInst encodes one source instruction (possibly a pseudo expanding
+// to several words).
+func (a *assembler) encodeInst(st *stmt) ([]byte, error) {
+	line, ops := st.line, st.operands
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf(line, "%s needs %d operands, got %d", st.mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	xreg := func(i int) (isa.Reg, error) {
+		r, ok := parseReg(ops[i])
+		if !ok {
+			return 0, a.errf(line, "bad integer register %q", ops[i])
+		}
+		return r, nil
+	}
+	freg := func(i int) (isa.Reg, error) {
+		r, ok := parseFReg(ops[i])
+		if !ok {
+			return 0, a.errf(line, "bad fp register %q", ops[i])
+		}
+		return r, nil
+	}
+	imm := func(i int) (int64, error) { return a.parseInt(line, ops[i]) }
+	branchDisp := func(i int, addr uint64) (int64, error) {
+		target, err := a.parseInt(line, ops[i])
+		if err != nil {
+			return 0, err
+		}
+		return target - int64(addr), nil
+	}
+	one := func(in isa.Inst) ([]byte, error) {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, a.errf(line, "%v", err)
+		}
+		return appendWord(nil, w), nil
+	}
+
+	// Pseudo-instructions first.
+	switch st.mnemonic {
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := xreg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		return emitLI(nil, rd, uint64(v)), nil
+	case "lif":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		fd, err := freg(0)
+		if err != nil {
+			return nil, err
+		}
+		tmp, err := xreg(1)
+		if err != nil {
+			return nil, err
+		}
+		f, err := strconv.ParseFloat(ops[2], 64)
+		if err != nil {
+			return nil, a.errf(line, "bad float %q", ops[2])
+		}
+		buf := emitLI(nil, tmp, math.Float64bits(f))
+		w, err := isa.Encode(isa.Inst{Op: isa.OpFMOVFX, Rd: fd, Rs1: tmp})
+		if err != nil {
+			return nil, a.errf(line, "%v", err)
+		}
+		return appendWord(buf, w), nil
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := xreg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(v) >= 1<<32 {
+			return nil, a.errf(line, "la target %#x exceeds 32 bits", uint64(v))
+		}
+		w1, _ := isa.Encode(isa.Inst{Op: isa.OpMOVZ, Rd: rd, Imm: v & 0xffff})
+		w2, _ := isa.Encode(isa.Inst{Op: isa.OpMOVK, Rd: rd, Imm: 1<<16 | v>>16&0xffff})
+		return appendWord(appendWord(nil, w1), w2), nil
+	case "mov":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := xreg(0)
+		if err != nil {
+			return nil, err
+		}
+		if rs, ok := parseReg(ops[1]); ok {
+			return one(isa.Inst{Op: isa.OpORR, Rd: rd, Rs1: rs, Rs2: isa.ZeroReg})
+		}
+		v, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		if len(liChunks(uint64(v))) != 1 {
+			return nil, a.errf(line, "mov immediate %#x needs li", uint64(v))
+		}
+		return emitLI(nil, rd, uint64(v)), nil
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		d, err := branchDisp(0, st.addr)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpJAL, Rd: isa.ZeroReg, Imm: d})
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		d, err := branchDisp(0, st.addr)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpJAL, Rd: isa.RegLR, Imm: d})
+	case "ret":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpJALR, Rd: isa.ZeroReg, Rs1: isa.RegLR})
+	case "cbz", "cbnz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := xreg(0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := branchDisp(1, st.addr)
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpBEQ
+		if st.mnemonic == "cbnz" {
+			op = isa.OpBNE
+		}
+		return one(isa.Inst{Op: op, Rs1: rs, Rs2: isa.ZeroReg, Imm: d})
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := xreg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := xreg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpSUB, Rd: rd, Rs1: isa.ZeroReg, Rs2: rs})
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := xreg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := xreg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1})
+	case "subi":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := xreg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := xreg(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rs, Imm: -v})
+	}
+
+	op, ok := isa.OpByName(st.mnemonic)
+	if !ok {
+		return nil, a.errf(line, "unknown instruction %q", st.mnemonic)
+	}
+	in := isa.Inst{Op: op}
+
+	switch op.Format() {
+	case isa.FmtR:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		var err error
+		fp := fpOperands(op)
+		if in.Rd, err = regOfClass(a, line, ops[0], fp.dst); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = regOfClass(a, line, ops[1], fp.s1); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = regOfClass(a, line, ops[2], fp.s2); err != nil {
+			return nil, err
+		}
+	case isa.FmtR1:
+		if op == isa.OpRDTIME {
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			rd, err := xreg(0)
+			if err != nil {
+				return nil, err
+			}
+			in.Rd = rd
+			break
+		}
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var err error
+		fp := fpOperands(op)
+		if in.Rd, err = regOfClass(a, line, ops[0], fp.dst); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = regOfClass(a, line, ops[1], fp.s1); err != nil {
+			return nil, err
+		}
+	case isa.FmtI:
+		switch {
+		case op.IsLoad() || op.IsStore():
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			var err error
+			fpData := op == isa.OpLDRF || op == isa.OpSTRF
+			if in.Rd, err = regOfClass(a, line, ops[0], fpData); err != nil {
+				return nil, err
+			}
+			in.Rs1, in.Imm, err = a.parseMem(line, ops[1])
+			if err != nil {
+				return nil, err
+			}
+		default: // ALU immediate and JALR
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			var err error
+			if in.Rd, err = xreg(0); err != nil {
+				return nil, err
+			}
+			if in.Rs1, err = xreg(1); err != nil {
+				return nil, err
+			}
+			if in.Imm, err = imm(2); err != nil {
+				return nil, err
+			}
+		}
+	case isa.FmtU:
+		if len(ops) != 2 && len(ops) != 3 {
+			return nil, a.errf(line, "%s needs rd, imm16 [, lsl n]", st.mnemonic)
+		}
+		var err error
+		if in.Rd, err = xreg(0); err != nil {
+			return nil, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 0xffff {
+			return nil, a.errf(line, "%s immediate %d out of 16-bit range", st.mnemonic, v)
+		}
+		shift := int64(0)
+		if len(ops) == 3 {
+			f := strings.Fields(strings.ToLower(ops[2]))
+			if len(f) != 2 || f[0] != "lsl" {
+				return nil, a.errf(line, "expected 'lsl n', got %q", ops[2])
+			}
+			n, err := strconv.ParseInt(f[1], 0, 64)
+			if err != nil || n%16 != 0 || n < 0 || n > 48 {
+				return nil, a.errf(line, "movz/movk shift must be 0, 16, 32 or 48")
+			}
+			shift = n / 16
+		}
+		in.Imm = shift<<16 | v
+	case isa.FmtB:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rs1, err = xreg(0); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = xreg(1); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = branchDisp(2, st.addr); err != nil {
+			return nil, err
+		}
+	case isa.FmtJ:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rd, err = xreg(0); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = branchDisp(1, st.addr); err != nil {
+			return nil, err
+		}
+	case isa.FmtP:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rd, err = xreg(0); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = xreg(1); err != nil {
+			return nil, err
+		}
+		in.Rs1, in.Imm, err = a.parseMem(line, ops[2])
+		if err != nil {
+			return nil, err
+		}
+	case isa.FmtS:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+	}
+	return one(in)
+}
+
+type fpOps struct{ dst, s1, s2 bool }
+
+// fpOperands reports which operand positions use the FP file for an op.
+func fpOperands(op isa.Op) fpOps {
+	switch op {
+	case isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFDIV, isa.OpFMIN, isa.OpFMAX:
+		return fpOps{dst: true, s1: true, s2: true}
+	case isa.OpFEQ, isa.OpFLT, isa.OpFLE:
+		return fpOps{s1: true, s2: true}
+	case isa.OpFSQRT, isa.OpFNEG, isa.OpFABS, isa.OpFMOV:
+		return fpOps{dst: true, s1: true}
+	case isa.OpFCVTZS, isa.OpFMOVXF:
+		return fpOps{s1: true}
+	case isa.OpSCVTF, isa.OpFMOVFX:
+		return fpOps{dst: true}
+	default:
+		return fpOps{}
+	}
+}
+
+func regOfClass(a *assembler, line int, s string, fp bool) (isa.Reg, error) {
+	if fp {
+		r, ok := parseFReg(s)
+		if !ok {
+			return 0, a.errf(line, "bad fp register %q", s)
+		}
+		return r, nil
+	}
+	r, ok := parseReg(s)
+	if !ok {
+		return 0, a.errf(line, "bad integer register %q", s)
+	}
+	return r, nil
+}

@@ -1,0 +1,209 @@
+// Package branch implements the main core's branch prediction: a
+// tournament predictor (per-PC local histories, a global history table,
+// and a chooser), a branch target buffer, and a return address stack,
+// sized per the paper's Table I (2048-entry local, 8192-entry global,
+// 2048-entry chooser, 2048-entry BTB, 16-entry RAS).
+package branch
+
+// Config sizes the predictor. Zero values select Table I defaults via
+// DefaultConfig.
+type Config struct {
+	LocalEntries   int // local history table + local prediction table
+	GlobalEntries  int // global prediction table
+	ChooserEntries int
+	BTBEntries     int
+	RASEntries     int
+}
+
+// DefaultConfig matches the paper's Table I.
+func DefaultConfig() Config {
+	return Config{
+		LocalEntries:   2048,
+		GlobalEntries:  8192,
+		ChooserEntries: 2048,
+		BTBEntries:     2048,
+		RASEntries:     16,
+	}
+}
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+// Predictor is the tournament predictor with BTB and RAS. It is a timing
+// model: it predicts direction and target; the core compares against the
+// architecturally correct outcome and charges a misprediction penalty.
+type Predictor struct {
+	cfg Config
+
+	localHist  []uint16 // per-PC history (10 bits used)
+	localPred  []uint8  // 2-bit counters indexed by local history
+	globalHist uint64
+	globalPred []uint8 // 2-bit counters indexed by ghist ^ pc
+	chooser    []uint8 // 2-bit: >=2 favours global
+
+	btb      []btbEntry
+	ras      []uint64
+	rasTop   int // next push slot; stack is circular (overwrites oldest)
+	rasDepth int
+
+	stats Stats
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	Lookups    uint64
+	DirMiss    uint64 // direction mispredictions
+	TargetMiss uint64 // direction right, target wrong (BTB/RAS miss)
+	RASHits    uint64
+}
+
+// New builds a predictor; zero-valued config fields take Table I defaults.
+func New(cfg Config) *Predictor {
+	def := DefaultConfig()
+	if cfg.LocalEntries == 0 {
+		cfg.LocalEntries = def.LocalEntries
+	}
+	if cfg.GlobalEntries == 0 {
+		cfg.GlobalEntries = def.GlobalEntries
+	}
+	if cfg.ChooserEntries == 0 {
+		cfg.ChooserEntries = def.ChooserEntries
+	}
+	if cfg.BTBEntries == 0 {
+		cfg.BTBEntries = def.BTBEntries
+	}
+	if cfg.RASEntries == 0 {
+		cfg.RASEntries = def.RASEntries
+	}
+	p := &Predictor{
+		cfg:        cfg,
+		localHist:  make([]uint16, cfg.LocalEntries),
+		localPred:  make([]uint8, cfg.LocalEntries),
+		globalPred: make([]uint8, cfg.GlobalEntries),
+		chooser:    make([]uint8, cfg.ChooserEntries),
+		btb:        make([]btbEntry, cfg.BTBEntries),
+		ras:        make([]uint64, cfg.RASEntries),
+	}
+	// Initialise counters weakly taken: loops predict well immediately.
+	for i := range p.localPred {
+		p.localPred[i] = 2
+	}
+	for i := range p.globalPred {
+		p.globalPred[i] = 2
+	}
+	return p
+}
+
+func (p *Predictor) localIndex(pc uint64) int { return int(pc>>2) & (p.cfg.LocalEntries - 1) }
+func (p *Predictor) globalIndex(pc uint64) int {
+	return int((pc>>2)^p.globalHist) & (p.cfg.GlobalEntries - 1)
+}
+func (p *Predictor) chooserIndex(pc uint64) int { return int(pc>>2) & (p.cfg.ChooserEntries - 1) }
+func (p *Predictor) btbIndex(pc uint64) int     { return int(pc>>2) & (p.cfg.BTBEntries - 1) }
+
+// PredictDirection predicts taken/not-taken for a conditional branch.
+func (p *Predictor) PredictDirection(pc uint64) bool {
+	p.stats.Lookups++
+	li := p.localIndex(pc)
+	local := p.localPred[int(p.localHist[li])&(p.cfg.LocalEntries-1)] >= 2
+	global := p.globalPred[p.globalIndex(pc)] >= 2
+	if p.chooser[p.chooserIndex(pc)] >= 2 {
+		return global
+	}
+	return local
+}
+
+// PredictTarget predicts the target of a taken branch via the BTB.
+// ok is false when the BTB has no entry for pc.
+func (p *Predictor) PredictTarget(pc uint64) (uint64, bool) {
+	e := p.btb[p.btbIndex(pc)]
+	if e.valid && e.tag == pc {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// PushRAS records a call's return address.
+func (p *Predictor) PushRAS(ret uint64) {
+	p.ras[p.rasTop] = ret
+	p.rasTop = (p.rasTop + 1) % p.cfg.RASEntries
+	if p.rasDepth < p.cfg.RASEntries {
+		p.rasDepth++
+	}
+}
+
+// PopRAS predicts a return target. ok is false when the stack is empty.
+func (p *Predictor) PopRAS() (uint64, bool) {
+	if p.rasDepth == 0 {
+		return 0, false
+	}
+	p.rasTop = (p.rasTop - 1 + p.cfg.RASEntries) % p.cfg.RASEntries
+	p.rasDepth--
+	p.stats.RASHits++
+	return p.ras[p.rasTop], true
+}
+
+// Update trains the predictor with the architecturally resolved outcome of
+// a conditional branch and refreshes the BTB for taken branches.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	li := p.localIndex(pc)
+	lhist := int(p.localHist[li]) & (p.cfg.LocalEntries - 1)
+	localTaken := p.localPred[lhist] >= 2
+	globalTaken := p.globalPred[p.globalIndex(pc)] >= 2
+
+	// Chooser trains toward whichever component was right.
+	ci := p.chooserIndex(pc)
+	if localTaken != globalTaken {
+		if globalTaken == taken {
+			p.chooser[ci] = sat(p.chooser[ci], true)
+		} else {
+			p.chooser[ci] = sat(p.chooser[ci], false)
+		}
+	}
+
+	p.localPred[lhist] = sat(p.localPred[lhist], taken)
+	gi := p.globalIndex(pc)
+	p.globalPred[gi] = sat(p.globalPred[gi], taken)
+
+	p.localHist[li] = p.localHist[li]<<1 | b2u16(taken)&1
+	p.globalHist = p.globalHist<<1 | uint64(b2u16(taken))&1
+
+	if taken {
+		p.btb[p.btbIndex(pc)] = btbEntry{tag: pc, target: target, valid: true}
+	}
+}
+
+// UpdateIndirect refreshes the BTB for an unconditional/indirect branch.
+func (p *Predictor) UpdateIndirect(pc, target uint64) {
+	p.btb[p.btbIndex(pc)] = btbEntry{tag: pc, target: target, valid: true}
+}
+
+// NoteDirMiss and NoteTargetMiss let the core attribute mispredictions.
+func (p *Predictor) NoteDirMiss()    { p.stats.DirMiss++ }
+func (p *Predictor) NoteTargetMiss() { p.stats.TargetMiss++ }
+
+// Stats returns a copy of the counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+func sat(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+func b2u16(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}

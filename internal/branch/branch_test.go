@@ -1,0 +1,144 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLoopBranchLearnsQuickly(t *testing.T) {
+	p := New(Config{})
+	pc := uint64(0x1040)
+	target := uint64(0x1000)
+	// A loop back-edge: taken 99 times, then falls through.
+	warm := 0
+	for i := 0; i < 100; i++ {
+		pred := p.PredictDirection(pc)
+		taken := i < 99
+		if pred == taken {
+			warm++
+		}
+		p.Update(pc, taken, target)
+	}
+	if warm < 95 {
+		t.Errorf("loop branch predicted correctly only %d/100 times", warm)
+	}
+	// After warmup the BTB knows the target.
+	if tgt, ok := p.PredictTarget(pc); !ok || tgt != target {
+		t.Errorf("BTB target = %#x, %v", tgt, ok)
+	}
+}
+
+func TestAlternatingPatternLearnedByLocalHistory(t *testing.T) {
+	p := New(Config{})
+	pc := uint64(0x2000)
+	// T/NT alternation defeats plain 2-bit counters but is captured by
+	// local history indexing.
+	correct := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		taken := i%2 == 0
+		if p.PredictDirection(pc) == taken {
+			correct++
+		}
+		p.Update(pc, taken, 0x2100)
+	}
+	if correct < n*3/4 {
+		t.Errorf("alternating pattern: %d/%d correct, want >= %d", correct, n, n*3/4)
+	}
+}
+
+func TestGlobalHistoryCorrelation(t *testing.T) {
+	p := New(Config{})
+	// Branch B's outcome equals branch A's last outcome: only global
+	// history can capture the cross-branch correlation.
+	a, b := uint64(0x3000), uint64(0x3100)
+	r := rand.New(rand.NewSource(3))
+	correct, total := 0, 0
+	last := false
+	for i := 0; i < 600; i++ {
+		aTaken := r.Intn(2) == 0
+		p.PredictDirection(a)
+		p.Update(a, aTaken, 0x3200)
+		pred := p.PredictDirection(b)
+		bTaken := last
+		if i > 300 { // measure after warmup
+			total++
+			if pred == bTaken {
+				correct++
+			}
+		}
+		p.Update(b, bTaken, 0x3300)
+		last = aTaken
+	}
+	if correct*10 < total*7 {
+		t.Errorf("correlated branch: %d/%d correct", correct, total)
+	}
+}
+
+func TestRASPredictsReturns(t *testing.T) {
+	p := New(Config{})
+	p.PushRAS(0x100)
+	p.PushRAS(0x200)
+	if v, ok := p.PopRAS(); !ok || v != 0x200 {
+		t.Errorf("pop = %#x, %v", v, ok)
+	}
+	if v, ok := p.PopRAS(); !ok || v != 0x100 {
+		t.Errorf("pop = %#x, %v", v, ok)
+	}
+	if _, ok := p.PopRAS(); ok {
+		t.Error("empty RAS must miss")
+	}
+}
+
+func TestRASOverflowWrapsAround(t *testing.T) {
+	p := New(Config{RASEntries: 4})
+	for i := 0; i < 6; i++ {
+		p.PushRAS(uint64(i) * 0x10)
+	}
+	// Deepest two entries were overwritten; the newest four survive.
+	want := []uint64{0x50, 0x40, 0x30, 0x20}
+	for _, w := range want {
+		v, ok := p.PopRAS()
+		if !ok || v != w {
+			t.Fatalf("pop = %#x, %v; want %#x", v, ok, w)
+		}
+	}
+	if _, ok := p.PopRAS(); ok {
+		t.Error("RAS depth must be capped at capacity")
+	}
+}
+
+func TestBTBTargetUpdates(t *testing.T) {
+	p := New(Config{})
+	pc := uint64(0x4000)
+	if _, ok := p.PredictTarget(pc); ok {
+		t.Error("cold BTB must miss")
+	}
+	p.UpdateIndirect(pc, 0x5000)
+	if tgt, ok := p.PredictTarget(pc); !ok || tgt != 0x5000 {
+		t.Errorf("target = %#x, %v", tgt, ok)
+	}
+	p.UpdateIndirect(pc, 0x6000)
+	if tgt, _ := p.PredictTarget(pc); tgt != 0x6000 {
+		t.Errorf("updated target = %#x", tgt)
+	}
+}
+
+func TestDefaultConfigMatchesTableI(t *testing.T) {
+	c := DefaultConfig()
+	if c.LocalEntries != 2048 || c.GlobalEntries != 8192 ||
+		c.ChooserEntries != 2048 || c.BTBEntries != 2048 || c.RASEntries != 16 {
+		t.Errorf("default config diverges from Table I: %+v", c)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	p := New(Config{})
+	p.PredictDirection(0x10)
+	p.NoteDirMiss()
+	p.NoteTargetMiss()
+	st := p.Stats()
+	if st.Lookups != 1 || st.DirMiss != 1 || st.TargetMiss != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,712 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI). Each FigNN function sweeps the same parameters as the
+// paper and returns structured rows; Render helpers print them as text
+// tables. The cmd/experiments binary and the repository's bench harness
+// are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paradet"
+)
+
+// Options scales the experiments. The paper simulates full benchmarks in
+// gem5; we sample a configurable number of committed instructions.
+type Options struct {
+	// MaxInstrs per run; 0 selects each workload's default sample.
+	MaxInstrs uint64
+	// Workloads to sweep; nil selects the paper's nine.
+	Workloads []string
+}
+
+func (o Options) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	names := make([]string, 0, 9)
+	for _, w := range paradet.Workloads() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+func (o Options) instrs(def uint64) uint64 {
+	if o.MaxInstrs > 0 {
+		return o.MaxInstrs
+	}
+	return def
+}
+
+func loadAll(o Options) (map[string]*paradet.Program, map[string]paradet.WorkloadInfo, error) {
+	progs := make(map[string]*paradet.Program)
+	infos := make(map[string]paradet.WorkloadInfo)
+	for _, name := range o.workloads() {
+		p, info, err := paradet.LoadWorkload(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		progs[name] = p
+		infos[name] = info
+	}
+	return progs, infos, nil
+}
+
+// ---- Fig. 7: normalised slowdown at default settings ----
+
+// Fig7Row is one benchmark's slowdown at Table I defaults.
+type Fig7Row struct {
+	Workload string
+	Slowdown float64
+}
+
+// Fig7 reproduces "Normalised slowdown for each benchmark, at standard
+// settings". Paper result: mean 1.75%, max 3.4%.
+func Fig7(o Options) ([]Fig7Row, error) {
+	progs, infos, err := loadAll(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for _, name := range o.workloads() {
+		cfg := paradet.DefaultConfig()
+		cfg.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
+		slow, _, _, err := paradet.Slowdown(cfg, progs[name])
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", name, err)
+		}
+		rows = append(rows, Fig7Row{Workload: name, Slowdown: slow})
+	}
+	return rows, nil
+}
+
+// RenderFig7 prints the figure as a table plus the headline statistics.
+func RenderFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7: normalised slowdown at standard settings (Table I)\n")
+	b.WriteString("paper: mean 1.0175, max 1.034\n\n")
+	var sum, max float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s %.4f\n", r.Workload, r.Slowdown)
+		sum += r.Slowdown
+		if r.Slowdown > max {
+			max = r.Slowdown
+		}
+	}
+	fmt.Fprintf(&b, "  %-14s %.4f (max %.4f)\n", "MEAN", sum/float64(len(rows)), max)
+	return b.String()
+}
+
+// ---- Fig. 8: detection-delay density ----
+
+// Fig8Row is one benchmark's delay distribution.
+type Fig8Row struct {
+	Workload     string
+	MeanNS       float64
+	MaxNS        float64
+	FracBelow5us float64
+	Density      []paradet.DensityPoint
+}
+
+// Fig8 reproduces the "distribution of error detection delays" density
+// plot. Paper: near-normal distributions, mean across benchmarks 770 ns,
+// 99.9% of loads and stores within 5000 ns, max ~21.5 us average.
+func Fig8(o Options) ([]Fig8Row, error) {
+	progs, infos, err := loadAll(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for _, name := range o.workloads() {
+		cfg := paradet.DefaultConfig()
+		cfg.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
+		res, err := paradet.Run(cfg, progs[name])
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", name, err)
+		}
+		rows = append(rows, Fig8Row{
+			Workload:     name,
+			MeanNS:       res.Delay.MeanNS,
+			MaxNS:        res.Delay.MaxNS,
+			FracBelow5us: res.Delay.FracBelow5us,
+			Density:      res.DelayDensity,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig8 prints per-benchmark delay summaries.
+func RenderFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 8: detection delay distribution at standard settings\n")
+	b.WriteString("paper: mean 770 ns across benchmarks; >=99.9% within 5000 ns\n\n")
+	fmt.Fprintf(&b, "  %-14s %10s %12s %10s\n", "workload", "mean ns", "max ns", "<5000ns")
+	var meanSum float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s %10.0f %12.0f %9.3f%%\n",
+			r.Workload, r.MeanNS, r.MaxNS, r.FracBelow5us*100)
+		meanSum += r.MeanNS
+	}
+	fmt.Fprintf(&b, "  %-14s %10.0f\n", "MEAN", meanSum/float64(len(rows)))
+	return b.String()
+}
+
+// ---- Fig. 9 / Fig. 11: checker-frequency sweeps ----
+
+// CheckerFreqsHz are the paper's swept checker clocks.
+var CheckerFreqsHz = []uint64{
+	125_000_000, 250_000_000, 500_000_000, 1_000_000_000, 2_000_000_000,
+}
+
+// FreqRow is one (workload, frequency) sample.
+type FreqRow struct {
+	Workload string
+	FreqHz   uint64
+	Slowdown float64
+	MeanNS   float64
+	MaxNS    float64
+}
+
+// Fig9And11 sweeps checker frequency, producing both Fig. 9 (slowdown)
+// and Fig. 11 (mean and max detection delay) in one pass.
+// Paper: memory-bound benchmarks tolerate low clocks; compute-bound ones
+// degrade sharply below 500 MHz; mean delay halves per clock doubling
+// until the segment-fill time dominates.
+func Fig9And11(o Options) ([]FreqRow, error) {
+	progs, infos, err := loadAll(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FreqRow
+	for _, name := range o.workloads() {
+		cfg0 := paradet.DefaultConfig()
+		cfg0.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
+		base, err := paradet.RunUnprotected(cfg0, progs[name])
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s baseline: %w", name, err)
+		}
+		for _, hz := range CheckerFreqsHz {
+			cfg := cfg0
+			cfg.CheckerHz = hz
+			res, err := paradet.Run(cfg, progs[name])
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s @%d: %w", name, hz, err)
+			}
+			rows = append(rows, FreqRow{
+				Workload: name,
+				FreqHz:   hz,
+				Slowdown: res.TimeNS / base.TimeNS,
+				MeanNS:   res.Delay.MeanNS,
+				MaxNS:    res.Delay.MaxNS,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig9 prints the slowdown-vs-frequency table.
+func RenderFig9(rows []FreqRow) string {
+	return renderFreqTable(rows, "Fig. 9: slowdown vs checker clock\n"+
+		"paper: compute-bound benchmarks degrade sharply below 500 MHz\n",
+		func(r FreqRow) float64 { return r.Slowdown }, "%8.3f")
+}
+
+// RenderFig11 prints the delay-vs-frequency tables (mean and max).
+func RenderFig11(rows []FreqRow) string {
+	out := renderFreqTable(rows, "Fig. 11(a): mean detection delay (ns) vs checker clock\n"+
+		"paper: doubling the clock roughly halves the mean delay\n",
+		func(r FreqRow) float64 { return r.MeanNS }, "%8.0f")
+	out += "\n" + renderFreqTable(rows, "Fig. 11(b): max detection delay (ns) vs checker clock\n",
+		func(r FreqRow) float64 { return r.MaxNS }, "%8.0f")
+	return out
+}
+
+func renderFreqTable(rows []FreqRow, title string, val func(FreqRow) float64, cellFmt string) string {
+	byWl := map[string]map[uint64]float64{}
+	var names []string
+	for _, r := range rows {
+		if byWl[r.Workload] == nil {
+			byWl[r.Workload] = map[uint64]float64{}
+			names = append(names, r.Workload)
+		}
+		byWl[r.Workload][r.FreqHz] = val(r)
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "  %-14s", "workload")
+	for _, hz := range CheckerFreqsHz {
+		fmt.Fprintf(&b, "%8s", freqLabel(hz))
+	}
+	b.WriteString("\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-14s", name)
+		for _, hz := range CheckerFreqsHz {
+			fmt.Fprintf(&b, cellFmt, byWl[name][hz])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func freqLabel(hz uint64) string {
+	if hz >= 1_000_000_000 {
+		return fmt.Sprintf("%gGHz", float64(hz)/1e9)
+	}
+	return fmt.Sprintf("%dMHz", hz/1_000_000)
+}
+
+// ---- Fig. 10 / Fig. 12: log-size and timeout sweeps ----
+
+// LogConfig is one (log size, timeout) sweep point of Figs. 10 and 12.
+type LogConfig struct {
+	Label    string
+	LogBytes int
+	Timeout  uint64
+}
+
+// LogConfigs are the paper's swept configurations. The paper's Fig. 12
+// additionally includes 36 KiB with an infinite timeout.
+var LogConfigs = []LogConfig{
+	{"3.6KiB/500", 3686, 500}, // paper rounds 3.6 KiB; 3686/12/16 ≈ 19 entries per segment
+	{"36KiB/5000", 36 * 1024, 5000},
+	{"360KiB/50000", 360 * 1024, 50000},
+	{"360KiB/inf", 360 * 1024, paradet.NoTimeout},
+	{"36KiB/inf", 36 * 1024, paradet.NoTimeout},
+}
+
+// LogRow is one (workload, log config) sample.
+type LogRow struct {
+	Workload string
+	Config   string
+	Slowdown float64 // checkpoint-only slowdown for Fig. 10
+	MeanNS   float64
+	MaxNS    float64
+}
+
+// Fig10 reproduces "slowdown to the system from just checkpointing,
+// without any checker core execution" across log sizes and timeouts.
+// Paper: <=2% at the default 36 KiB, up to 15% at 3.6 KiB/500.
+func Fig10(o Options) ([]LogRow, error) {
+	progs, infos, err := loadAll(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []LogRow
+	for _, name := range o.workloads() {
+		cfg0 := paradet.DefaultConfig()
+		cfg0.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
+		base, err := paradet.RunUnprotected(cfg0, progs[name])
+		if err != nil {
+			return nil, err
+		}
+		for _, lc := range LogConfigs[:4] { // Fig. 10 uses the first four
+			cfg := cfg0
+			cfg.LogBytes = lc.LogBytes
+			cfg.TimeoutInstrs = lc.Timeout
+			cfg.DisableCheckers = true
+			res, err := paradet.Run(cfg, progs[name])
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s %s: %w", name, lc.Label, err)
+			}
+			rows = append(rows, LogRow{
+				Workload: name, Config: lc.Label,
+				Slowdown: res.TimeNS / base.TimeNS,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig12 reproduces mean/max detection delay across log sizes and
+// timeouts at the default checker clock.
+// Paper: mean delay scales linearly with log size; without a timeout,
+// sparse-memory code (bitcount) suffers huge maxima (250x reduction from
+// a 50k timeout).
+func Fig12(o Options) ([]LogRow, error) {
+	progs, infos, err := loadAll(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []LogRow
+	for _, name := range o.workloads() {
+		for _, lc := range LogConfigs {
+			cfg := paradet.DefaultConfig()
+			cfg.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
+			cfg.LogBytes = lc.LogBytes
+			cfg.TimeoutInstrs = lc.Timeout
+			res, err := paradet.Run(cfg, progs[name])
+			if err != nil {
+				return nil, fmt.Errorf("fig12 %s %s: %w", name, lc.Label, err)
+			}
+			rows = append(rows, LogRow{
+				Workload: name, Config: lc.Label,
+				MeanNS: res.Delay.MeanNS, MaxNS: res.Delay.MaxNS,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderLogRows prints a log-config sweep as a table.
+func RenderLogRows(rows []LogRow, title string, val func(LogRow) float64, cellFmt string) string {
+	configs := []string{}
+	seen := map[string]bool{}
+	byWl := map[string]map[string]float64{}
+	var names []string
+	for _, r := range rows {
+		if !seen[r.Config] {
+			seen[r.Config] = true
+			configs = append(configs, r.Config)
+		}
+		if byWl[r.Workload] == nil {
+			byWl[r.Workload] = map[string]float64{}
+			names = append(names, r.Workload)
+		}
+		byWl[r.Workload][r.Config] = val(r)
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "  %-14s", "workload")
+	for _, c := range configs {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteString("\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-14s", name)
+		for _, c := range configs {
+			fmt.Fprintf(&b, cellFmt, byWl[name][c])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---- Fig. 13: core-count scaling ----
+
+// CoreConfig is one point of the Fig. 13 sweep.
+type CoreConfig struct {
+	Label    string
+	Checkers int
+	FreqHz   uint64
+}
+
+// CoreConfigs are the paper's Fig. 13 sweep points: N cores at 1 GHz
+// against 12 cores at scaled-down clocks.
+var CoreConfigs = []CoreConfig{
+	{"3c@1GHz", 3, 1_000_000_000},
+	{"12c@250MHz", 12, 250_000_000},
+	{"6c@1GHz", 6, 1_000_000_000},
+	{"12c@500MHz", 12, 500_000_000},
+	{"12c@1GHz", 12, 1_000_000_000},
+}
+
+// CoreRow is one (workload, core config) sample.
+type CoreRow struct {
+	Workload string
+	Config   string
+	Slowdown float64
+}
+
+// Fig13 reproduces "slowdown with varying core counts at 1GHz, compared
+// with values for 12 cores at varying frequencies". The per-core log
+// share is held at 3 KiB, as in the paper (total log scales with cores).
+// Paper: N cores at M MHz ≈ 2N cores at M/2; more slower cores win
+// slightly because only n-1 checkers are ever active (§VI-A).
+func Fig13(o Options) ([]CoreRow, error) {
+	progs, infos, err := loadAll(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CoreRow
+	for _, name := range o.workloads() {
+		cfg0 := paradet.DefaultConfig()
+		cfg0.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
+		base, err := paradet.RunUnprotected(cfg0, progs[name])
+		if err != nil {
+			return nil, err
+		}
+		for _, cc := range CoreConfigs {
+			cfg := cfg0
+			cfg.NumCheckers = cc.Checkers
+			cfg.CheckerHz = cc.FreqHz
+			cfg.LogBytes = cc.Checkers * 3 * 1024
+			res, err := paradet.Run(cfg, progs[name])
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s %s: %w", name, cc.Label, err)
+			}
+			rows = append(rows, CoreRow{
+				Workload: name, Config: cc.Label,
+				Slowdown: res.TimeNS / base.TimeNS,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig13 prints the core-count sweep.
+func RenderFig13(rows []CoreRow) string {
+	var configs []string
+	seen := map[string]bool{}
+	byWl := map[string]map[string]float64{}
+	var names []string
+	for _, r := range rows {
+		if !seen[r.Config] {
+			seen[r.Config] = true
+			configs = append(configs, r.Config)
+		}
+		if byWl[r.Workload] == nil {
+			byWl[r.Workload] = map[string]float64{}
+			names = append(names, r.Workload)
+		}
+		byWl[r.Workload][r.Config] = r.Slowdown
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 13: slowdown vs checker core count and clock\n")
+	b.WriteString("paper: N cores @ M MHz ~ 2N cores @ M/2 MHz\n\n")
+	fmt.Fprintf(&b, "  %-14s", "workload")
+	for _, c := range configs {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteString("\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-14s", name)
+		for _, c := range configs {
+			fmt.Fprintf(&b, "%12.3f", byWl[name][c])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---- Fig. 1(d) / §VI-B / §VI-C: scheme comparison ----
+
+// SchemeRow compares detection schemes on one workload.
+type SchemeRow struct {
+	Scheme        string
+	Slowdown      float64
+	AreaOverhead  float64
+	PowerOverhead float64
+	MeanDelayNS   float64
+}
+
+// Fig1d reproduces the overhead-comparison table with measured
+// performance and the analytic area/power model, on one representative
+// workload. Paper: lockstep = large area+energy; RMT = large energy +
+// performance; desired (this scheme) = small everything.
+func Fig1d(workload string, maxInstrs uint64) ([]SchemeRow, error) {
+	p, info, err := paradet.LoadWorkload(workload)
+	if err != nil {
+		return nil, err
+	}
+	cfg := paradet.DefaultConfig()
+	if maxInstrs == 0 {
+		maxInstrs = info.DefaultMaxInstrs
+	}
+	cfg.MaxInstrs = maxInstrs
+
+	base, err := paradet.RunUnprotected(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	prot, err := paradet.Run(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := paradet.RunLockstep(cfg, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := paradet.RunRMT(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+
+	ap := paradet.AreaPower(cfg)
+	apLS := paradet.AreaPowerLockstep(cfg)
+	apRMT := paradet.AreaPowerRMT(cfg, 2.0)
+
+	return []SchemeRow{
+		{"lockstep", ls.TimeNS / base.TimeNS, apLS.AreaOverhead, apLS.PowerOverhead, ls.MeanDelayNS},
+		{"rmt", rm.TimeNS / base.TimeNS, apRMT.AreaOverhead, apRMT.PowerOverhead, rm.MeanDelayNS},
+		{"paradet", prot.TimeNS / base.TimeNS, ap.AreaOverhead, ap.PowerOverhead, prot.Delay.MeanNS},
+	}, nil
+}
+
+// RenderFig1d prints the scheme comparison.
+func RenderFig1d(rows []SchemeRow, workload string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1(d): scheme comparison on %q\n", workload)
+	b.WriteString("paper: lockstep large area+energy; RMT large energy+perf; desired small all\n\n")
+	fmt.Fprintf(&b, "  %-10s %10s %8s %8s %12s\n", "scheme", "slowdown", "area", "power", "delay ns")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %10.3f %7.0f%% %7.0f%% %12.1f\n",
+			r.Scheme, r.Slowdown, r.AreaOverhead*100, r.PowerOverhead*100, r.MeanDelayNS)
+	}
+	return b.String()
+}
+
+// RenderAreaPower prints the §VI-B/§VI-C analytic reports.
+func RenderAreaPower(cfg paradet.Config) string {
+	ap := paradet.AreaPower(cfg)
+	var b strings.Builder
+	b.WriteString("§VI-B area / §VI-C power overheads (analytic, paper's method)\n")
+	b.WriteString("paper: ~24% area (16% with L2 in base), ~16% power\n\n")
+	fmt.Fprintf(&b, "  added area: %.3f mm² -> %.1f%% of main core (%.1f%% incl. L2)\n",
+		ap.AddedAreaMM2, ap.AreaOverhead*100, ap.AreaOverheadWithL2*100)
+	fmt.Fprintf(&b, "  added power: %.0f mW -> %.1f%% of main core\n",
+		ap.AddedPowerMW, ap.PowerOverhead*100)
+	return b.String()
+}
+
+// Sec6DRow compares the Table I core against the aggressive §VI-D core.
+type Sec6DRow struct {
+	Workload     string
+	Core         string
+	BaseIPS      float64 // unprotected giga-instructions/s
+	Slowdown     float64
+	CheckerCores int
+}
+
+// Sec6D reproduces §VI-D's "bigger cores" argument: a 6-wide 4 GHz main
+// core gains sublinear single-thread performance, so a linearly scaled
+// checker pool (18 cores here) still contains the slowdown while its
+// relative area/power overhead versus the (much larger) big core falls.
+func Sec6D(o Options) ([]Sec6DRow, error) {
+	progs, infos, err := loadAll(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Sec6DRow
+	for _, name := range o.workloads() {
+		for _, big := range []bool{false, true} {
+			cfg := paradet.DefaultConfig()
+			cfg.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
+			core := "tableI-3w-3.2GHz"
+			if big {
+				cfg.BigCore = true
+				cfg.NumCheckers = 18
+				cfg.LogBytes = 18 * 3 * 1024
+				cfg.CheckerHz = 1_250_000_000
+				core = "big-6w-4GHz"
+			}
+			base, err := paradet.RunUnprotected(cfg, progs[name])
+			if err != nil {
+				return nil, err
+			}
+			prot, err := paradet.Run(cfg, progs[name])
+			if err != nil {
+				return nil, fmt.Errorf("sec6d %s (%s): %w", name, core, err)
+			}
+			rows = append(rows, Sec6DRow{
+				Workload:     name,
+				Core:         core,
+				BaseIPS:      float64(base.Instructions) / base.TimeNS,
+				Slowdown:     prot.TimeNS / base.TimeNS,
+				CheckerCores: cfg.NumCheckers,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderSec6D prints the big-core comparison.
+func RenderSec6D(rows []Sec6DRow) string {
+	var b strings.Builder
+	b.WriteString("§VI-D: bigger main cores (sublinear speedup, linear checker scaling)\n")
+	b.WriteString("paper: relative overheads diminish on more aggressive cores\n\n")
+	fmt.Fprintf(&b, "  %-14s %-18s %10s %10s %9s\n",
+		"workload", "core", "GIPS", "slowdown", "checkers")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s %-18s %10.2f %10.3f %9d\n",
+			r.Workload, r.Core, r.BaseIPS, r.Slowdown, r.CheckerCores)
+	}
+	return b.String()
+}
+
+// Names lists the experiment identifiers understood by RunByName.
+func Names() []string {
+	return []string{"fig1d", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "area", "sec6d"}
+}
+
+// RunByName executes one named experiment and returns its rendering.
+func RunByName(name string, o Options) (string, error) {
+	switch name {
+	case "fig1d":
+		rows, err := Fig1d("swaptions", o.MaxInstrs)
+		if err != nil {
+			return "", err
+		}
+		return RenderFig1d(rows, "swaptions"), nil
+	case "fig7":
+		rows, err := Fig7(o)
+		if err != nil {
+			return "", err
+		}
+		return RenderFig7(rows), nil
+	case "fig8":
+		rows, err := Fig8(o)
+		if err != nil {
+			return "", err
+		}
+		return RenderFig8(rows), nil
+	case "fig9":
+		rows, err := Fig9And11(o)
+		if err != nil {
+			return "", err
+		}
+		return RenderFig9(rows), nil
+	case "fig10":
+		rows, err := Fig10(o)
+		if err != nil {
+			return "", err
+		}
+		return RenderLogRows(rows, "Fig. 10: checkpoint-only slowdown vs log size/timeout\n"+
+			"paper: <=2% at 36KiB default, up to 15% at 3.6KiB/500",
+			func(r LogRow) float64 { return r.Slowdown }, "%14.3f"), nil
+	case "fig11":
+		rows, err := Fig9And11(o)
+		if err != nil {
+			return "", err
+		}
+		return RenderFig11(rows), nil
+	case "fig12":
+		rows, err := Fig12(o)
+		if err != nil {
+			return "", err
+		}
+		out := RenderLogRows(rows, "Fig. 12(a): mean detection delay (ns) vs log size/timeout\n"+
+			"paper: mean scales ~linearly with log size",
+			func(r LogRow) float64 { return r.MeanNS }, "%14.0f")
+		out += "\n" + RenderLogRows(rows, "Fig. 12(b): max detection delay (ns) vs log size/timeout",
+			func(r LogRow) float64 { return r.MaxNS }, "%14.0f")
+		return out, nil
+	case "fig13":
+		rows, err := Fig13(o)
+		if err != nil {
+			return "", err
+		}
+		return RenderFig13(rows), nil
+	case "area":
+		return RenderAreaPower(paradet.DefaultConfig()), nil
+	case "sec6d":
+		o2 := o
+		if len(o2.Workloads) == 0 {
+			o2.Workloads = []string{"bitcount", "stream", "bodytrack"}
+		}
+		rows, err := Sec6D(o2)
+		if err != nil {
+			return "", err
+		}
+		return RenderSec6D(rows), nil
+	default:
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}
+
+// SortRowsByWorkload orders rows deterministically for golden outputs.
+func SortRowsByWorkload(rows []Fig7Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Workload < rows[j].Workload })
+}

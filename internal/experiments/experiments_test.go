@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps experiment smoke tests quick: two contrasting workloads,
+// tiny samples.
+func fastOpts() Options {
+	return Options{MaxInstrs: 6000, Workloads: []string{"randacc", "bitcount"}}
+}
+
+func TestFig7ProducesOneRowPerWorkload(t *testing.T) {
+	rows, err := Fig7(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Slowdown < 0.99 || r.Slowdown > 2 {
+			t.Errorf("%s slowdown %.3f implausible", r.Workload, r.Slowdown)
+		}
+	}
+	if out := RenderFig7(rows); !strings.Contains(out, "MEAN") {
+		t.Error("rendering must include the mean")
+	}
+}
+
+func TestFig8CollectsDelays(t *testing.T) {
+	rows, err := Fig8(Options{MaxInstrs: 6000, Workloads: []string{"stream"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].MeanNS <= 0 || len(rows[0].Density) == 0 {
+		t.Fatalf("delay stats empty: %+v", rows[0])
+	}
+	_ = RenderFig8(rows)
+}
+
+func TestFreqSweepCoversAllPoints(t *testing.T) {
+	rows, err := Fig9And11(Options{MaxInstrs: 4000, Workloads: []string{"stream"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(CheckerFreqsHz) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(CheckerFreqsHz))
+	}
+	_ = RenderFig9(rows)
+	_ = RenderFig11(rows)
+}
+
+func TestLogSweepsRun(t *testing.T) {
+	o := Options{MaxInstrs: 4000, Workloads: []string{"stream"}}
+	rows10, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows10) != 4 {
+		t.Fatalf("fig10 rows = %d, want 4 configs", len(rows10))
+	}
+	rows12, err := Fig12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows12) != len(LogConfigs) {
+		t.Fatalf("fig12 rows = %d, want %d", len(rows12), len(LogConfigs))
+	}
+	_ = RenderLogRows(rows10, "t", func(r LogRow) float64 { return r.Slowdown }, "%14.3f")
+}
+
+func TestFig13Runs(t *testing.T) {
+	rows, err := Fig13(Options{MaxInstrs: 4000, Workloads: []string{"randacc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(CoreConfigs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	_ = RenderFig13(rows)
+}
+
+func TestFig1dOrdersSchemes(t *testing.T) {
+	rows, err := Fig1d("bitcount", 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[string]SchemeRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	if byScheme["rmt"].Slowdown <= byScheme["paradet"].Slowdown {
+		t.Errorf("RMT slowdown %.3f must exceed paradet %.3f",
+			byScheme["rmt"].Slowdown, byScheme["paradet"].Slowdown)
+	}
+	if byScheme["lockstep"].AreaOverhead <= byScheme["paradet"].AreaOverhead {
+		t.Error("lockstep must cost more area than paradet")
+	}
+	_ = RenderFig1d(rows, "bitcount")
+}
+
+func TestRunByNameRejectsUnknown(t *testing.T) {
+	if _, err := RunByName("fig99", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, n := range Names() {
+		if n == "" {
+			t.Fatal("empty experiment name")
+		}
+	}
+}

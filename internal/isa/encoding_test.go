@@ -1,0 +1,143 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randInst generates a random valid instruction for the given op.
+func randInst(r *rand.Rand, op Op) Inst {
+	in := Inst{Op: op}
+	reg := func() Reg { return Reg(r.Intn(32)) }
+	switch op.Format() {
+	case FmtR:
+		in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+	case FmtR1:
+		in.Rd, in.Rs1 = reg(), reg()
+	case FmtI:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.Imm = int64(r.Intn(ImmIMax-ImmIMin+1)) + ImmIMin
+	case FmtU:
+		in.Rd = reg()
+		in.Imm = int64(r.Intn(4))<<16 | int64(r.Intn(0x10000))
+	case FmtB:
+		in.Rs1, in.Rs2 = reg(), reg()
+		in.Imm = (int64(r.Intn((ImmBMax-ImmBMin)/4+1)) + ImmBMin/4) * 4
+	case FmtJ:
+		in.Rd = reg()
+		in.Imm = (int64(r.Intn((ImmJMax-ImmJMin)/4+1)) + ImmJMin/4) * 4
+	case FmtP:
+		in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+		in.Imm = (int64(r.Intn((ImmPMax-ImmPMin)/8+1)) + ImmPMin/8) * 8
+	}
+	return in
+}
+
+// TestEncodeDecodeRoundTrip is a property test: every encodable
+// instruction decodes back to itself.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ops := Ops()
+	f := func(opIdx uint16) bool {
+		op := ops[int(opIdx)%len(ops)]
+		in := randInst(r, op)
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("encode %v: %v", in, err)
+			return false
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %#x: %v", w, err)
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADDI, Rd: 1, Rs1: 2, Imm: ImmIMax + 1},
+		{Op: OpADDI, Rd: 1, Rs1: 2, Imm: ImmIMin - 1},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: 2},           // unaligned
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: ImmBMax + 4}, // too far
+		{Op: OpJAL, Rd: 1, Imm: ImmJMax + 4},          // too far
+		{Op: OpLDP, Rd: 1, Rs1: 2, Rs2: 3, Imm: 4},    // unaligned pair
+		{Op: OpLDP, Rd: 1, Rs1: 2, Rs2: 3, Imm: ImmPMax + 8},
+		{Op: OpMOVZ, Rd: 1, Imm: 4<<16 | 5}, // bad shift
+		{Op: OpInvalid},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidOpcodes(t *testing.T) {
+	for _, w := range []uint32{0x00000000, 0xff000000, uint32(opMax) << 24} {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#x) succeeded, want error", w)
+		}
+	}
+}
+
+func TestOpByNameCoversAllOps(t *testing.T) {
+	for _, op := range Ops() {
+		got, ok := OpByName(op.Name())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v", op.Name(), got, ok, op)
+		}
+	}
+}
+
+func TestMicroOps(t *testing.T) {
+	if OpLDP.MicroOps() != 2 || OpSTP.MicroOps() != 2 {
+		t.Error("pair ops must crack into 2 micro-ops")
+	}
+	if OpADD.MicroOps() != 1 || OpLDRD.MicroOps() != 1 {
+		t.Error("non-pair ops must be single micro-ops")
+	}
+}
+
+func TestRegisterClassification(t *testing.T) {
+	var buf []RegRef
+	// Store data register is a source, not a destination.
+	st := Inst{Op: OpSTRD, Rd: 3, Rs1: 4, Imm: 8}
+	if d := st.Dsts(buf[:0]); len(d) != 0 {
+		t.Errorf("STRD dsts = %v, want none", d)
+	}
+	srcs := st.Srcs(nil)
+	if len(srcs) != 2 {
+		t.Fatalf("STRD srcs = %v, want base+data", srcs)
+	}
+	// Zero register never appears as a dependence.
+	add := Inst{Op: OpADD, Rd: ZeroReg, Rs1: ZeroReg, Rs2: 5}
+	if d := add.Dsts(nil); len(d) != 0 {
+		t.Errorf("ADD->xzr dsts = %v, want none", d)
+	}
+	if s := add.Srcs(nil); len(s) != 1 {
+		t.Errorf("ADD xzr,x5 srcs = %v, want just x5", s)
+	}
+	// LDP writes two integer registers.
+	ldp := Inst{Op: OpLDP, Rd: 1, Rs1: 2, Rs2: 3}
+	if d := ldp.Dsts(nil); len(d) != 2 {
+		t.Errorf("LDP dsts = %v, want two", d)
+	}
+	// FP ops use the FP file.
+	fadd := Inst{Op: OpFADD, Rd: 1, Rs1: 2, Rs2: 3}
+	for _, ref := range fadd.Dsts(nil) {
+		if !ref.FP {
+			t.Error("FADD destination should be FP")
+		}
+	}
+	// MOVK reads its own destination.
+	movk := Inst{Op: OpMOVK, Rd: 7, Imm: 0x10005}
+	if s := movk.Srcs(nil); len(s) != 1 || s[0].Idx != 7 {
+		t.Errorf("MOVK srcs = %v, want [x7]", s)
+	}
+}

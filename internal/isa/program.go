@@ -1,0 +1,31 @@
+package isa
+
+// Program is a loadable memory image produced by the assembler.
+type Program struct {
+	// Entry is the initial PC (the `_start` label, or the image origin).
+	Entry uint64
+	// Origin and Image describe one contiguous segment.
+	Origin uint64
+	Image  []byte
+	// Symbols maps labels to addresses.
+	Symbols map[string]uint64
+}
+
+// End reports the first address past the image.
+func (p *Program) End() uint64 { return p.Origin + uint64(len(p.Image)) }
+
+// Contains reports whether addr lies within the image, used to bound
+// instruction fetch (a fetch outside the image is a program fault).
+func (p *Program) Contains(addr uint64) bool {
+	return addr >= p.Origin && addr < p.End()
+}
+
+// Word reads the 32-bit little-endian word at addr, if within the image.
+func (p *Program) Word(addr uint64) (uint32, bool) {
+	if addr < p.Origin || addr+4 > p.End() || addr%4 != 0 {
+		return 0, false
+	}
+	off := addr - p.Origin
+	b := p.Image[off : off+4]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, true
+}

@@ -1,0 +1,101 @@
+package lockstep
+
+import (
+	"testing"
+
+	"paradet/internal/asm"
+	"paradet/internal/isa"
+	"paradet/internal/mem"
+	"paradet/internal/sim"
+	"paradet/internal/trace"
+)
+
+const prog = `
+_start:
+	movz x1, 0
+	la   x2, buf
+loop:
+	mul  x3, x1, x1
+	strd x3, [x2]
+	addi x2, x2, 8
+	addi x1, x1, 1
+	li   x4, 20
+	blt  x1, x4, loop
+	hlt
+	.align 8
+buf: .space 256
+`
+
+func setup(t *testing.T, hook func(*isa.Machine, *isa.DynInst)) (*Comparator, *trace.Oracle) {
+	t.Helper()
+	p, err := asm.Assemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := trace.NewOracle(p, mem.NewSparse(), 0)
+	o.M.Hooks.PostExec = hook
+	return NewComparator(p, trace.InitialRegs(p), 2*sim.Nanosecond), o
+}
+
+func pump(t *testing.T, c *Comparator, o *trace.Oracle) {
+	t.Helper()
+	var di isa.DynInst
+	now := sim.Time(0)
+	for o.Next(&di) {
+		if _, ok := c.TryCommit(&di, now); !ok {
+			t.Fatal("lockstep must never stall the primary")
+		}
+		now += sim.Nanosecond
+	}
+}
+
+func TestCleanRunNeverDiverges(t *testing.T) {
+	c, o := setup(t, nil)
+	pump(t, c, o)
+	if d := c.FirstDivergence(); d != nil {
+		t.Fatalf("clean run diverged: %s", d)
+	}
+	if c.Compares() == 0 {
+		t.Fatal("comparator saw no instructions")
+	}
+	if c.Delay.Count() == 0 {
+		t.Fatal("store compares must record delays")
+	}
+	if c.Delay.Mean() != 2.0 {
+		t.Errorf("compare delay %.1f ns, want the 2 ns comparator latency", c.Delay.Mean())
+	}
+}
+
+func TestPrimaryFaultDetected(t *testing.T) {
+	c, o := setup(t, func(m *isa.Machine, di *isa.DynInst) {
+		if di.Seq == 10 {
+			m.X[3] ^= 1 << 5 // corrupt the primary only
+			if di.NMem > 0 && di.Mem[0].IsStore {
+				di.Mem[0].Val ^= 1 << 5
+			}
+		}
+	})
+	pump(t, c, o)
+	if c.FirstDivergence() == nil {
+		t.Fatal("lockstep missed a primary-core fault")
+	}
+}
+
+func TestDivergenceReportsPosition(t *testing.T) {
+	c, o := setup(t, func(m *isa.Machine, di *isa.DynInst) {
+		if di.Seq == 10 {
+			di.NextPC += 8 // control fault in the primary
+		}
+	})
+	pump(t, c, o)
+	d := c.FirstDivergence()
+	if d == nil {
+		t.Fatal("control fault missed")
+	}
+	if d.Seq < 10 {
+		t.Errorf("divergence at seq %d, fault was at 10", d.Seq)
+	}
+	if d.String() == "" {
+		t.Error("divergence must describe itself")
+	}
+}

@@ -1,0 +1,182 @@
+// Package mem implements the simulated memory system: a sparse functional
+// backing store shared by the architectural models, and the timing-side
+// hierarchy (set-associative caches with MSHRs, a stride prefetcher on the
+// L2, and a DRAM latency/bandwidth model) matching the paper's Table I.
+//
+// The paper assumes "memory blocks such as caches and DRAM are protected
+// by ECC, since our detection scheme is only designed to cover errors
+// within the core" (§IV-A); accordingly the functional store is always
+// correct and faults are injected only on the core-side paths.
+package mem
+
+import "fmt"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// Sparse is a sparse 64-bit byte-addressable memory. Unwritten locations
+// read as zero. The zero value is ready to use.
+type Sparse struct {
+	pages map[uint64]*page
+}
+
+// NewSparse returns an empty memory.
+func NewSparse() *Sparse { return &Sparse{pages: make(map[uint64]*page)} }
+
+func (s *Sparse) pageFor(addr uint64, create bool) *page {
+	if s.pages == nil {
+		if !create {
+			return nil
+		}
+		s.pages = make(map[uint64]*page)
+	}
+	pn := addr >> pageShift
+	p := s.pages[pn]
+	if p == nil && create {
+		p = new(page)
+		s.pages[pn] = p
+	}
+	return p
+}
+
+// ByteAt reads one byte.
+func (s *Sparse) ByteAt(addr uint64) byte {
+	p := s.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// SetByte writes one byte.
+func (s *Sparse) SetByte(addr uint64, v byte) {
+	s.pageFor(addr, true)[addr&pageMask] = v
+}
+
+// Read reads size (1, 2, 4 or 8) bytes at addr, little-endian,
+// zero-extended. Accesses may straddle page boundaries.
+func (s *Sparse) Read(addr uint64, size uint8) uint64 {
+	// Fast path: fully within one page.
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := s.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := uint8(0); i < size; i++ {
+			v |= uint64(p[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(s.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write writes the low size bytes of val at addr, little-endian.
+func (s *Sparse) Write(addr uint64, size uint8, val uint64) {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := s.pageFor(addr, true)
+		for i := uint8(0); i < size; i++ {
+			p[off+uint64(i)] = byte(val >> (8 * i))
+		}
+		return
+	}
+	for i := uint8(0); i < size; i++ {
+		s.SetByte(addr+uint64(i), byte(val>>(8*i)))
+	}
+}
+
+// SetBytes copies b into memory starting at addr.
+func (s *Sparse) SetBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		s.SetByte(addr+uint64(i), v)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (s *Sparse) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = s.ByteAt(addr + uint64(i))
+	}
+	return out
+}
+
+// Clone returns a deep copy, used to give protected and golden runs
+// identical initial images.
+func (s *Sparse) Clone() *Sparse {
+	c := NewSparse()
+	for pn, p := range s.pages {
+		cp := *p
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// Equal reports whether two memories have identical contents. Zero pages
+// are treated as absent, so a written-then-zeroed page equals a never-
+// written one.
+func (s *Sparse) Equal(o *Sparse) bool {
+	return s.firstDiff(o) == nil
+}
+
+// FirstDiff describes the lowest differing address between two memories,
+// or "" if equal. Used by fault-classification to decide whether a fault
+// escaped to architectural memory state.
+func (s *Sparse) FirstDiff(o *Sparse) string {
+	if d := s.firstDiff(o); d != nil {
+		return fmt.Sprintf("mem[%#x]: %#x != %#x", d.addr, d.a, d.b)
+	}
+	return ""
+}
+
+type memDiff struct {
+	addr uint64
+	a, b byte
+}
+
+func (s *Sparse) firstDiff(o *Sparse) *memDiff {
+	var best *memDiff
+	consider := func(addr uint64, a, b byte) {
+		if a == b {
+			return
+		}
+		if best == nil || addr < best.addr {
+			best = &memDiff{addr, a, b}
+		}
+	}
+	seen := make(map[uint64]bool)
+	for pn, p := range s.pages {
+		seen[pn] = true
+		op := o.pageFor(pn<<pageShift, false)
+		for i := 0; i < pageSize; i++ {
+			var ob byte
+			if op != nil {
+				ob = op[i]
+			}
+			consider(pn<<pageShift|uint64(i), p[i], ob)
+		}
+	}
+	for pn, op := range o.pages {
+		if seen[pn] {
+			continue
+		}
+		for i := 0; i < pageSize; i++ {
+			consider(pn<<pageShift|uint64(i), 0, op[i])
+		}
+	}
+	return best
+}
+
+// Pages reports how many pages have been materialised (for stats/tests).
+func (s *Sparse) Pages() int { return len(s.pages) }

@@ -1,0 +1,706 @@
+// Package ooo models the high-performance out-of-order main core of the
+// paper's system (Table I: 3-wide, 40-entry ROB, 32-entry IQ, 16-entry
+// LQ/SQ, 128 int + 128 FP physical registers, 3 int ALUs, 2 FP ALUs, one
+// mul/div unit, tournament branch prediction, 3.2 GHz).
+//
+// The model is trace-driven over the functional oracle: it consumes the
+// committed-path dynamic instruction stream and models front-end fetch
+// (I-cache + branch prediction; a mispredicted branch blocks fetch until
+// it resolves, plus a redirect penalty), rename (physical register free
+// lists, ROB/IQ/LQ/SQ occupancy), oldest-first issue with functional-unit
+// and memory-port contention, load/store timing through the D-cache with
+// exact store-to-load forwarding, and in-order commit. Wrong-path
+// instructions are not executed (their cache pollution is not modelled;
+// see DESIGN.md §6).
+//
+// The detection hardware attaches at the two points the paper specifies:
+// loads are duplicated into the load forwarding unit when their value
+// arrives from the cache (§IV-C), and committed instructions pass through
+// a commit gate that appends to the load-store log, takes register
+// checkpoints (16-cycle commit pause), and stalls the core when every log
+// segment is busy (§IV-D).
+package ooo
+
+import (
+	"paradet/internal/branch"
+	"paradet/internal/isa"
+	"paradet/internal/mem"
+	"paradet/internal/sim"
+)
+
+// TraceSource supplies the committed-path dynamic instruction stream.
+type TraceSource interface {
+	// Next fills di with the next dynamic instruction. It returns false
+	// at end of stream (HLT, program fault, or instruction budget).
+	Next(di *isa.DynInst) bool
+}
+
+// CommitGate is the detection hardware's hook into the commit stage.
+type CommitGate interface {
+	// TryCommit is called when di is ready to commit at time now.
+	// ok == false means commit must stall this cycle (no free load-store
+	// log segment; the paper's "stall the main core until a checker core
+	// finishes", §IV-D). stall > 0 is an additional commit pause charged
+	// after the instruction commits (register checkpoint, §VI-A).
+	TryCommit(di *isa.DynInst, now sim.Time) (stall sim.Time, ok bool)
+	// OnLoadData is called when a load's value arrives from the cache
+	// and is duplicated into the load forwarding unit (§IV-C).
+	OnLoadData(di *isa.DynInst, at sim.Time)
+}
+
+// Config parameterises the core. NewTableIConfig gives the paper's values.
+type Config struct {
+	Clock sim.Clock
+
+	Width       int // fetch/rename/commit width
+	ROBEntries  int
+	IQEntries   int
+	LQEntries   int
+	SQEntries   int
+	IntPhysRegs int
+	FPPhysRegs  int
+
+	IntALUs  int
+	FPALUs   int
+	MulDivs  int
+	MemPorts int
+
+	FetchQueue     int
+	RedirectCycles int // front-end refill after a branch redirect
+
+	// Latencies in cycles by execution class.
+	IntALULat int
+	IntMulLat int
+	IntDivLat int
+	FPALULat  int
+	FPMulLat  int
+	FPDivLat  int
+	BranchLat int
+	StoreLat  int
+	SystemLat int
+	FwdLat    int // store-to-load forwarding
+}
+
+// NewTableIConfig returns the paper's main-core configuration.
+func NewTableIConfig() Config {
+	return Config{
+		Clock:          sim.NewClock(3_200_000_000),
+		Width:          3,
+		ROBEntries:     40,
+		IQEntries:      32,
+		LQEntries:      16,
+		SQEntries:      16,
+		IntPhysRegs:    128,
+		FPPhysRegs:     128,
+		IntALUs:        3,
+		FPALUs:         2,
+		MulDivs:        1,
+		MemPorts:       2,
+		FetchQueue:     12,
+		RedirectCycles: 3,
+		IntALULat:      1,
+		IntMulLat:      3,
+		IntDivLat:      20,
+		FPALULat:       3,
+		FPMulLat:       4,
+		FPDivLat:       15,
+		BranchLat:      1,
+		StoreLat:       1,
+		SystemLat:      1,
+		FwdLat:         1,
+	}
+}
+
+// NewBigCoreConfig returns an aggressive main core for the paper's §VI-D
+// discussion: twice the width and window of Table I at 4 GHz. Such cores
+// gain only sublinear single-thread performance, so the (linearly
+// scaling) checker pool shrinks as a relative overhead.
+func NewBigCoreConfig() Config {
+	cfg := NewTableIConfig()
+	cfg.Clock = sim.NewClock(4_000_000_000)
+	cfg.Width = 6
+	cfg.ROBEntries = 192
+	cfg.IQEntries = 96
+	cfg.LQEntries = 48
+	cfg.SQEntries = 48
+	cfg.IntPhysRegs = 256
+	cfg.FPPhysRegs = 256
+	cfg.IntALUs = 4
+	cfg.FPALUs = 3
+	cfg.MulDivs = 2
+	cfg.MemPorts = 3
+	cfg.FetchQueue = 24
+	return cfg
+}
+
+// Stats aggregates core performance counters.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	MicroOps     uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	FinishTime   sim.Time
+	// Stall accounting (cycles of the respective condition at commit).
+	LogFullStallCycles uint64
+	CheckpointStall    sim.Time
+	FetchStallICache   uint64
+	RenameStallCycles  uint64
+}
+
+// IPC reports committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+const invalidDep = ^uint64(0)
+
+type robEntry struct {
+	di         isa.DynInst
+	id         uint64
+	deps       [3]uint64 // producer ROB ids (invalidDep if none)
+	ndeps      int
+	issued     bool
+	completeAt sim.Time
+	mispredict bool
+	inIQ       bool
+}
+
+type fetchedInst struct {
+	di         isa.DynInst
+	mispredict bool
+}
+
+// Core is the out-of-order main core timing model. It implements
+// sim.Ticker; one Tick is one core cycle.
+type Core struct {
+	cfg    Config
+	trace  TraceSource
+	icache *mem.Cache
+	dcache *mem.Cache
+	bp     *branch.Predictor
+	gate   CommitGate // may be nil (unprotected baseline)
+
+	// Front end.
+	fetchQ        []fetchedInst
+	pending       isa.DynInst
+	pendingValid  bool
+	traceDone     bool
+	curFetchLine  uint64
+	fetchStallTil sim.Time
+	blockedOnSeq  uint64 // dynamic Seq of the unresolved mispredicted branch
+
+	// Window.
+	rob            []robEntry
+	headID, tailID uint64                       // ids are 1-based; index = id % len(rob)
+	regMap         [2][2][isa.NumIntRegs]uint64 // [thread][int,fp] arch reg -> producer rob id
+	iqCount        int
+	lqCount        int
+	sqCount        int
+	intRegsFree    int
+	fpRegsFree     int
+
+	// Execution resources (non-pipelined units' busy horizon).
+	mulDivBusyTil sim.Time
+	fpDivBusyTil  sim.Time
+
+	// Commit.
+	commitBlockedTil sim.Time
+
+	stats Stats
+	done  bool
+}
+
+// New builds a core over the given trace and memory-side ports.
+func New(cfg Config, trace TraceSource, icache, dcache *mem.Cache, bp *branch.Predictor, gate CommitGate) *Core {
+	if cfg.Width <= 0 || cfg.ROBEntries <= 0 {
+		panic("ooo: invalid config")
+	}
+	return &Core{
+		cfg:         cfg,
+		trace:       trace,
+		icache:      icache,
+		dcache:      dcache,
+		bp:          bp,
+		gate:        gate,
+		rob:         make([]robEntry, cfg.ROBEntries),
+		headID:      1,
+		tailID:      1,
+		intRegsFree: cfg.IntPhysRegs - isa.NumIntRegs,
+		fpRegsFree:  cfg.FPPhysRegs - isa.NumFPRegs,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Done reports whether the core has drained.
+func (c *Core) Done() bool { return c.done }
+
+func (c *Core) entry(id uint64) *robEntry { return &c.rob[id%uint64(len(c.rob))] }
+
+func (c *Core) robFull() bool  { return c.tailID-c.headID >= uint64(len(c.rob)) }
+func (c *Core) robEmpty() bool { return c.tailID == c.headID }
+
+// Tick advances the core by one cycle. Stages run commit-first so that a
+// single instruction cannot traverse multiple stages in one cycle.
+func (c *Core) Tick(now sim.Time) (sim.Time, bool) {
+	c.stats.Cycles++
+	c.commit(now)
+	c.issue(now)
+	c.rename(now)
+	c.fetch(now)
+	if c.traceDone && !c.pendingValid && len(c.fetchQ) == 0 && c.robEmpty() {
+		c.done = true
+		c.stats.FinishTime = now
+		return 0, true
+	}
+	return now + c.cfg.Clock.Period, false
+}
+
+// ---- Commit ----
+
+func (c *Core) commit(now sim.Time) {
+	if now < c.commitBlockedTil {
+		return
+	}
+	budget := c.cfg.Width
+	for budget > 0 && !c.robEmpty() {
+		e := c.entry(c.headID)
+		if !e.issued || now < e.completeAt {
+			return
+		}
+		uops := e.di.Inst.Op.MicroOps()
+		if uops > budget && budget < c.cfg.Width {
+			return // macro-op does not fit in what is left of this cycle
+		}
+		if c.gate != nil {
+			stall, ok := c.gate.TryCommit(&e.di, now)
+			if !ok {
+				c.stats.LogFullStallCycles++
+				return
+			}
+			if stall > 0 {
+				c.commitBlockedTil = now + stall
+				c.stats.CheckpointStall += stall
+			}
+		}
+		c.retire(e, now)
+		budget -= uops
+		c.headID++
+		if now < c.commitBlockedTil {
+			return // checkpoint pause blocks the rest of this cycle too
+		}
+	}
+}
+
+// retire releases resources and performs commit-time side effects.
+func (c *Core) retire(e *robEntry, now sim.Time) {
+	di := &e.di
+	op := di.Inst.Op
+	c.stats.Instructions++
+	c.stats.MicroOps += uint64(op.MicroOps())
+
+	switch {
+	case op.IsLoad():
+		c.stats.Loads++
+		c.lqCount -= int(di.NMem)
+	case op.IsStore():
+		c.stats.Stores++
+		c.sqCount -= int(di.NMem)
+		// Stores access the D-cache at commit through the write buffer;
+		// charge cache occupancy without blocking commit. Trailing-thread
+		// stores (SMT-RMT) are comparison events, not memory writes.
+		if di.Thread == 0 {
+			for i := uint8(0); i < di.NMem; i++ {
+				c.dcache.Access(di.Mem[i].Addr, true, di.PC, now)
+			}
+		}
+	}
+
+	if op.IsBranch() {
+		c.stats.Branches++
+		if e.mispredict {
+			c.stats.Mispredicts++
+		}
+		if di.Thread == 0 {
+			if op.IsUncond() {
+				c.bp.UpdateIndirect(di.PC, di.NextPC)
+			} else {
+				c.bp.Update(di.PC, di.Taken, di.NextPC)
+			}
+		}
+	}
+
+	// Free physical registers (freed at commit of the producing
+	// instruction itself; slightly optimistic, see package doc).
+	var dbuf [2]isa.RegRef
+	for _, d := range di.Inst.Dsts(dbuf[:0]) {
+		if d.FP {
+			c.fpRegsFree++
+		} else {
+			c.intRegsFree++
+		}
+	}
+}
+
+// ---- Issue / execute ----
+
+func (c *Core) issue(now sim.Time) {
+	intALU := c.cfg.IntALUs
+	fpALU := c.cfg.FPALUs
+	mulDiv := c.cfg.MulDivs
+	memPorts := c.cfg.MemPorts
+
+	for id := c.headID; id < c.tailID; id++ {
+		e := c.entry(id)
+		if e.issued || !e.inIQ {
+			continue
+		}
+		if !c.sourcesReady(e, now) {
+			continue
+		}
+		op := e.di.Inst.Op
+		switch op.Class() {
+		case isa.ClassIntALU, isa.ClassNop:
+			if intALU == 0 {
+				continue
+			}
+			intALU--
+			c.complete(e, now, c.cfg.IntALULat)
+		case isa.ClassBranch:
+			if intALU == 0 {
+				continue
+			}
+			intALU--
+			c.complete(e, now, c.cfg.BranchLat)
+		case isa.ClassIntMul:
+			if mulDiv == 0 || now < c.mulDivBusyTil {
+				continue
+			}
+			mulDiv--
+			c.complete(e, now, c.cfg.IntMulLat)
+		case isa.ClassIntDiv:
+			if mulDiv == 0 || now < c.mulDivBusyTil {
+				continue
+			}
+			mulDiv--
+			c.complete(e, now, c.cfg.IntDivLat)
+			c.mulDivBusyTil = e.completeAt // divider is not pipelined
+		case isa.ClassFPALU:
+			if fpALU == 0 {
+				continue
+			}
+			fpALU--
+			c.complete(e, now, c.cfg.FPALULat)
+		case isa.ClassFPMul:
+			if fpALU == 0 {
+				continue
+			}
+			fpALU--
+			c.complete(e, now, c.cfg.FPMulLat)
+		case isa.ClassFPDiv:
+			if fpALU == 0 || now < c.fpDivBusyTil {
+				continue
+			}
+			fpALU--
+			c.complete(e, now, c.cfg.FPDivLat)
+			c.fpDivBusyTil = e.completeAt
+		case isa.ClassLoad:
+			if memPorts == 0 {
+				continue
+			}
+			doneAt, ok := c.issueLoad(e, now)
+			if !ok {
+				continue
+			}
+			memPorts--
+			e.issued = true
+			e.inIQ = false
+			c.iqCount--
+			e.completeAt = doneAt
+			if c.gate != nil {
+				c.gate.OnLoadData(&e.di, doneAt)
+			}
+			c.noteResolved(e)
+		case isa.ClassStore:
+			if memPorts == 0 {
+				continue
+			}
+			memPorts--
+			c.complete(e, now, c.cfg.StoreLat)
+		case isa.ClassSystem:
+			c.complete(e, now, c.cfg.SystemLat)
+		}
+	}
+}
+
+func (c *Core) complete(e *robEntry, now sim.Time, latCycles int) {
+	e.issued = true
+	e.inIQ = false
+	c.iqCount--
+	e.completeAt = now + c.cfg.Clock.Duration(int64(latCycles))
+	c.noteResolved(e)
+}
+
+// noteResolved lifts a fetch block once the offending branch has a known
+// resolution time.
+func (c *Core) noteResolved(e *robEntry) {
+	if e.mispredict && e.di.Seq == c.blockedOnSeq {
+		c.fetchStallTil = sim.Max(c.fetchStallTil,
+			e.completeAt+c.cfg.Clock.Duration(int64(c.cfg.RedirectCycles)))
+		c.blockedOnSeq = 0
+	}
+}
+
+func (c *Core) sourcesReady(e *robEntry, now sim.Time) bool {
+	for i := 0; i < e.ndeps; i++ {
+		id := e.deps[i]
+		if id < c.headID {
+			continue // producer committed
+		}
+		p := c.entry(id)
+		if !p.issued || now < p.completeAt {
+			return false
+		}
+	}
+	return true
+}
+
+// issueLoad resolves memory dependences with oracle-exact addresses
+// (perfect disambiguation: no dependence mispeculation is modelled).
+// It returns the load's completion time, or ok == false if an older
+// overlapping store has not produced its data yet.
+func (c *Core) issueLoad(e *robEntry, now sim.Time) (sim.Time, bool) {
+	if e.di.Thread != 0 {
+		// SMT-RMT trailing thread: loads are served from the load value
+		// queue filled by the leading thread (Reinhardt & Mukherjee),
+		// never from the cache.
+		return now + c.cfg.Clock.Duration(int64(c.cfg.FwdLat)), true
+	}
+	var doneAt sim.Time
+	for i := uint8(0); i < e.di.NMem; i++ {
+		ld := &e.di.Mem[i]
+		if fwd, found, ready := c.forwardFromStore(e.id, ld, now); found {
+			if !ready {
+				return 0, false
+			}
+			doneAt = sim.Max(doneAt, fwd)
+			continue
+		}
+		doneAt = sim.Max(doneAt, c.dcache.Access(ld.Addr, false, e.di.PC, now))
+	}
+	return doneAt, true
+}
+
+// forwardFromStore finds the youngest older in-flight store overlapping
+// the load. found reports a hit; ready reports whether the store's data
+// is available, in which case the forwarded completion time is returned.
+func (c *Core) forwardFromStore(loadID uint64, ld *isa.MemOp, now sim.Time) (at sim.Time, found, ready bool) {
+	for id := loadID; id > c.headID; id-- {
+		p := c.entry(id - 1)
+		if !p.di.Inst.Op.IsStore() || p.di.Thread != 0 {
+			continue
+		}
+		for j := uint8(0); j < p.di.NMem; j++ {
+			st := &p.di.Mem[j]
+			if overlaps(st.Addr, st.Size, ld.Addr, ld.Size) {
+				if !p.issued {
+					return 0, true, false
+				}
+				return sim.Max(now, p.completeAt) + c.cfg.Clock.Duration(int64(c.cfg.FwdLat)), true, true
+			}
+		}
+	}
+	return 0, false, false
+}
+
+func overlaps(a uint64, an uint8, b uint64, bn uint8) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}
+
+// ---- Rename / dispatch ----
+
+func (c *Core) rename(now sim.Time) {
+	if now < c.commitBlockedTil {
+		// The register checkpoint occupies the register-file ports for
+		// its whole copy (two ports, 32 registers, 16 cycles — §VI-A), so
+		// rename cannot allocate or read mappings either.
+		c.stats.RenameStallCycles++
+		return
+	}
+	budget := c.cfg.Width
+	for budget > 0 && len(c.fetchQ) > 0 {
+		f := &c.fetchQ[0]
+		in := f.di.Inst
+		op := in.Op
+
+		var dbuf, sbuf [3]isa.RegRef
+		dsts := in.Dsts(dbuf[:0])
+		needInt, needFP := 0, 0
+		for _, d := range dsts {
+			if d.FP {
+				needFP++
+			} else {
+				needInt++
+			}
+		}
+		nmem := int(f.di.NMem)
+		switch {
+		case c.robFull(), c.iqCount >= c.cfg.IQEntries,
+			needInt > c.intRegsFree, needFP > c.fpRegsFree,
+			op.IsLoad() && c.lqCount+nmem > c.cfg.LQEntries,
+			op.IsStore() && c.sqCount+nmem > c.cfg.SQEntries:
+			c.stats.RenameStallCycles++
+			return
+		}
+
+		id := c.tailID
+		e := c.entry(id)
+		*e = robEntry{di: f.di, id: id, mispredict: f.mispredict, inIQ: true}
+		for i := range e.deps {
+			e.deps[i] = invalidDep
+		}
+		thr := int(f.di.Thread)
+		for _, s := range in.Srcs(sbuf[:0]) {
+			file := 0
+			if s.FP {
+				file = 1
+			}
+			if pid := c.regMap[thr][file][s.Idx]; pid != 0 && pid >= c.headID {
+				e.deps[e.ndeps] = pid
+				e.ndeps++
+			}
+		}
+		for _, d := range dsts {
+			file := 0
+			if d.FP {
+				file = 1
+				c.fpRegsFree--
+			} else {
+				c.intRegsFree--
+			}
+			c.regMap[thr][file][d.Idx] = id
+		}
+		c.iqCount++
+		if op.IsLoad() {
+			c.lqCount += nmem
+		}
+		if op.IsStore() {
+			c.sqCount += nmem
+		}
+		c.tailID++
+		c.fetchQ = c.fetchQ[1:]
+		budget--
+	}
+}
+
+// ---- Fetch ----
+
+func (c *Core) fetch(now sim.Time) {
+	if c.blockedOnSeq != 0 {
+		return // waiting for a mispredicted branch to resolve
+	}
+	if now < c.fetchStallTil {
+		c.stats.FetchStallICache++
+		return
+	}
+	budget := c.cfg.Width
+	for budget > 0 && len(c.fetchQ) < c.cfg.FetchQueue {
+		if !c.pendingValid {
+			if c.traceDone || !c.trace.Next(&c.pending) {
+				c.traceDone = true
+				return
+			}
+			c.pendingValid = true
+		}
+		di := &c.pending
+
+		// Instruction cache: a new line access may stall fetch; the
+		// access is charged once (the fill continues in the background).
+		// The SMT-RMT trailing thread reuses the leading thread's lines.
+		line := di.PC &^ 63
+		if line != c.curFetchLine && di.Thread == 0 {
+			done := c.icache.Access(line, false, di.PC, now)
+			c.curFetchLine = line
+			if done > now {
+				c.fetchStallTil = done
+				c.stats.FetchStallICache++
+				return
+			}
+		}
+
+		f := fetchedInst{di: *di}
+		c.pendingValid = false
+		endGroup := false
+		if di.Inst.Op.IsBranch() && di.Thread != 0 {
+			// Trailing-thread branch outcomes are known from the leading
+			// thread: no prediction, no redirect.
+		} else if di.Inst.Op.IsBranch() {
+			f.mispredict, endGroup = c.predict(di)
+			if f.mispredict {
+				c.blockedOnSeq = di.Seq
+				c.bp.NoteDirMiss()
+			}
+		}
+		c.fetchQ = append(c.fetchQ, f)
+		budget--
+		if f.mispredict {
+			return
+		}
+		if endGroup {
+			return // taken branches end the fetch group
+		}
+	}
+}
+
+// predict runs the front-end predictors against the architecturally
+// correct outcome recorded in the trace. It returns whether the branch is
+// mispredicted and whether it ends the fetch group (predicted taken).
+func (c *Core) predict(di *isa.DynInst) (mispredict, endGroup bool) {
+	in := di.Inst
+	switch in.Op {
+	case isa.OpJAL:
+		// Direct target, known at decode. Calls push the RAS.
+		if in.Rd == isa.RegLR {
+			c.bp.PushRAS(di.PC + 4)
+		}
+		return false, true
+	case isa.OpJALR:
+		if in.Rd == isa.RegLR {
+			c.bp.PushRAS(di.PC + 4)
+		}
+		var target uint64
+		var ok bool
+		if in.Rd == isa.ZeroReg && in.Rs1 == isa.RegLR {
+			target, ok = c.bp.PopRAS()
+		}
+		if !ok {
+			target, ok = c.bp.PredictTarget(di.PC)
+		}
+		if !ok || target != di.NextPC {
+			c.bp.NoteTargetMiss()
+			return true, true
+		}
+		return false, true
+	default:
+		predTaken := c.bp.PredictDirection(di.PC)
+		if predTaken != di.Taken {
+			return true, predTaken
+		}
+		if !di.Taken {
+			return false, false
+		}
+		target, ok := c.bp.PredictTarget(di.PC)
+		if !ok || target != di.NextPC {
+			c.bp.NoteTargetMiss()
+			return true, true
+		}
+		return false, true
+	}
+}

@@ -1,0 +1,104 @@
+package rmt
+
+import (
+	"testing"
+
+	"paradet/internal/asm"
+	"paradet/internal/isa"
+	"paradet/internal/mem"
+	"paradet/internal/sim"
+	"paradet/internal/trace"
+)
+
+const prog = `
+_start:
+	movz x1, 0
+	la   x2, buf
+loop:
+	mul  x3, x1, x1
+	strd x3, [x2]
+	addi x2, x2, 8
+	addi x1, x1, 1
+	li   x4, 20
+	blt  x1, x4, loop
+	hlt
+	.align 8
+buf: .space 256
+`
+
+func newDup(t *testing.T) *DupSource {
+	t.Helper()
+	p, err := asm.Assemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &DupSource{Inner: trace.NewOracle(p, mem.NewSparse(), 0)}
+}
+
+func TestDupSourceInterleavesThreads(t *testing.T) {
+	d := newDup(t)
+	var a, b isa.DynInst
+	for i := 0; i < 50; i++ {
+		if !d.Next(&a) || !d.Next(&b) {
+			t.Fatal("stream ended early")
+		}
+		if a.Thread != 0 || b.Thread != 1 {
+			t.Fatalf("pair %d threads %d/%d, want 0/1", i, a.Thread, b.Thread)
+		}
+		if a.Seq != b.Seq || a.PC != b.PC || a.NMem != b.NMem {
+			t.Fatalf("pair %d copies differ: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestComparatorPairsAndMeasuresDelay(t *testing.T) {
+	d := newDup(t)
+	c := NewComparator()
+	var di isa.DynInst
+	now := sim.Time(0)
+	for d.Next(&di) {
+		if _, ok := c.TryCommit(&di, now); !ok {
+			t.Fatal("rmt comparator must never stall")
+		}
+		if di.Thread == 1 {
+			now += sim.Nanosecond // trailing copies commit later
+		}
+	}
+	if c.FirstDivergence() != nil {
+		t.Fatalf("clean duplicated stream diverged: %s", c.FirstDivergence())
+	}
+	if c.Compares() == 0 || c.Delay.Count() == 0 {
+		t.Fatal("comparator inactive")
+	}
+}
+
+func TestComparatorCatchesCopyDivergence(t *testing.T) {
+	d := newDup(t)
+	c := NewComparator()
+	var di isa.DynInst
+	n := 0
+	for d.Next(&di) {
+		n++
+		if n == 21 && di.NMem > 0 { // corrupt one copy's store
+			di.Mem[0].Val ^= 1
+		}
+		c.TryCommit(&di, sim.Time(n))
+	}
+	// Find a store pair to corrupt deterministically instead if n==21
+	// was not a memory op: rerun with a guaranteed hit.
+	if c.FirstDivergence() == nil {
+		d2 := newDup(t)
+		c = NewComparator()
+		k := 0
+		for d2.Next(&di) {
+			k++
+			if di.Thread == 1 && di.NMem > 0 {
+				di.Mem[0].Val ^= 1
+			}
+			c.TryCommit(&di, sim.Time(k))
+		}
+	}
+	if c.FirstDivergence() == nil {
+		t.Fatal("corrupted trailing copy not detected")
+	}
+}

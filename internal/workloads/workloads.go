@@ -1,0 +1,607 @@
+// Package workloads provides the nine evaluation kernels standing in for
+// the paper's benchmark suite (Table II). Each is a synthetic PDX64
+// kernel matching the *character* of its namesake — the paper chose the
+// suite to span "applications at the extremes of being almost purely
+// memory bound (both irregular and regular) and almost purely compute
+// bound" (§V) — so the relative orderings the figures depend on (low-IPC
+// irregular memory vs high-IPC compute, FP-heavy vs integer, branchy vs
+// straight-line) are preserved even though the code is not Parsec.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Info describes one workload.
+type Info struct {
+	Name        string
+	Suite       string // which suite the paper drew the namesake from
+	Class       string // memory-irregular | memory-regular | compute-int | compute-fp | mixed | branchy
+	Description string
+	// DefaultMaxInstrs is the committed-instruction sample used by the
+	// evaluation harness (the full kernels run much longer).
+	DefaultMaxInstrs uint64
+}
+
+type workload struct {
+	info Info
+	src  string
+}
+
+var registry = map[string]workload{}
+
+func register(info Info, src string) {
+	if _, dup := registry[info.Name]; dup {
+		panic("workloads: duplicate " + info.Name)
+	}
+	registry[info.Name] = workload{info, src}
+}
+
+// Names lists the workloads in the paper's Table II order.
+func Names() []string {
+	return []string{
+		"randacc", "stream", "bitcount", "blackscholes",
+		"fluidanimate", "swaptions", "freqmine", "bodytrack", "facesim",
+	}
+}
+
+// All returns every Info, sorted by name.
+func All() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the info and assembly source of a workload.
+func Get(name string) (Info, string, error) {
+	w, ok := registry[name]
+	if !ok {
+		return Info{}, "", fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return w.info, w.src, nil
+}
+
+func init() {
+	register(Info{
+		Name: "randacc", Suite: "HPCC", Class: "memory-irregular",
+		Description: "GUPS-style random table XOR updates: dependent loads " +
+			"and stores to a 2 MiB table with no locality; very low IPC.",
+		DefaultMaxInstrs: 120_000,
+	}, srcRandacc)
+	register(Info{
+		Name: "stream", Suite: "HPCC", Class: "memory-regular",
+		Description: "STREAM triad a[i] = b[i] + s*c[i] over 512 KiB arrays: " +
+			"bandwidth-bound sequential FP memory traffic.",
+		DefaultMaxInstrs: 150_000,
+	}, srcStream)
+	register(Info{
+		Name: "bitcount", Suite: "MiBench", Class: "compute-int",
+		Description: "software population count of a PRNG stream (shift/mask " +
+			"tree): pure integer compute, no memory in the loop.",
+		DefaultMaxInstrs: 300_000,
+	}, srcBitcount)
+	register(Info{
+		Name: "blackscholes", Suite: "Parsec", Class: "compute-fp",
+		Description: "option pricing with polynomial ln/exp and a logistic " +
+			"CNDF: long FP dependency chains with divide and sqrt.",
+		DefaultMaxInstrs: 300_000,
+	}, srcBlackscholes)
+	register(Info{
+		Name: "fluidanimate", Suite: "Parsec", Class: "mixed",
+		Description: "1-D particle-grid relaxation: regular FP loads/stores " +
+			"of neighbours with a clamping branch per cell.",
+		DefaultMaxInstrs: 150_000,
+	}, srcFluidanimate)
+	register(Info{
+		Name: "swaptions", Suite: "Parsec", Class: "compute-fp",
+		Description: "Monte-Carlo path accumulation: PRNG integer mixing " +
+			"feeding FP sqrt/divide chains; stores only per batch.",
+		DefaultMaxInstrs: 300_000,
+	}, srcSwaptions)
+	register(Info{
+		Name: "freqmine", Suite: "Parsec", Class: "branchy",
+		Description: "hash-bucket frequency counting over a 1 MiB table: " +
+			"irregular read-modify-writes and data-dependent branches.",
+		DefaultMaxInstrs: 120_000,
+	}, srcFreqmine)
+	register(Info{
+		Name: "bodytrack", Suite: "Parsec", Class: "mixed",
+		Description: "particle filter update: paired loads/stores (LDP/STP " +
+			"macro-ops) of state vectors with FP weighting and a sign branch.",
+		DefaultMaxInstrs: 150_000,
+	}, srcBodytrack)
+	register(Info{
+		Name: "facesim", Suite: "Parsec", Class: "memory-regular",
+		Description: "2-D 5-point stencil relaxation over a 128x128 double " +
+			"grid: regular FP memory with moderate per-point compute.",
+		DefaultMaxInstrs: 150_000,
+	}, srcFacesim)
+}
+
+// Shared idiom: every kernel ends with `mov x0, <checksum>; svc; hlt` so
+// runs produce a verifiable output, and sizes its iteration count well
+// above the harness's instruction samples.
+
+const srcRandacc = `
+; HPCC RandomAccess (GUPS): t[i] ^= r over a 2 MiB table, random i.
+; The table lives above the image; unwritten entries read as zero.
+	.equ ITERS, 60000
+_start:
+	li   x1, 0x1000000       ; table base
+	li   x5, 0x2545F4914F6CDD1D ; xorshift state
+	movz x2, 0               ; i
+	movz x8, 0               ; checksum
+loop:
+	; xorshift64 PRNG
+	lsri x6, x5, 12
+	xor  x5, x5, x6
+	lsli x6, x5, 25
+	xor  x5, x5, x6
+	lsri x6, x5, 27
+	xor  x5, x5, x6
+	; index = (state >> 20) & (2^18 - 1), addr = base + index*8
+	lsri x6, x5, 20
+	li   x7, 0x3ffff
+	and  x6, x6, x7
+	lsli x6, x6, 3
+	add  x6, x6, x1
+	ldrd x7, [x6]
+	xor  x7, x7, x5
+	strd x7, [x6]
+	add  x8, x8, x7
+	addi x2, x2, 1
+	li   x9, ITERS
+	blt  x2, x9, loop
+	mov  x0, x8
+	svc
+	hlt
+`
+
+const srcStream = `
+; STREAM triad: a[i] = b[i] + s * c[i] over 64K-element double arrays.
+; Arrays live above the image (b and c read as zero: the timing-relevant
+; behaviour is the three sequential 8-byte streams).
+	.equ N, 65536
+	.equ PASSES, 4
+_start:
+	lif  f0, x9, 3.0         ; s
+	movz x10, 0              ; pass
+pass:
+	li   x1, 0x2000000       ; c
+	li   x2, 0x2200000       ; b
+	li   x3, 0x2400000       ; a
+	movz x4, 0               ; i
+loop:
+	ldrf f1, [x1]
+	fmul f1, f1, f0
+	ldrf f2, [x2]
+	fadd f1, f1, f2
+	strf f1, [x3]
+	addi x1, x1, 8
+	addi x2, x2, 8
+	addi x3, x3, 8
+	addi x4, x4, 1
+	li   x5, N
+	blt  x4, x5, loop
+	addi x10, x10, 1
+	li   x5, PASSES
+	blt  x10, x5, pass
+	li   x0, 0
+	svc
+	hlt
+`
+
+const srcBitcount = `
+; MiBench bitcount alternates counting methods. Phase A counts a batch of
+; words via a 256-entry per-byte lookup table (memory-dense, as the real
+; LUT method); phase B counts a larger batch with the pure-register
+; shift/mask tree ("large runs of instructions with very few loads and
+; stores", which §VI-A's timeout discussion calls out in this benchmark).
+	.equ BATCHES, 60
+_start:
+	la   x17, table
+	li   x19, 0xA000000      ; results
+	li   x5, 0x9E3779B97F4A7C15 ; PRNG state
+	movz x8, 0               ; total bits
+	movz x15, 0              ; batch counter
+	li   x20, 0x5555555555555555
+	li   x21, 0x3333333333333333
+	li   x22, 0x0F0F0F0F0F0F0F0F
+	li   x23, 0x0101010101010101
+	; build the byte-popcount table: table[b] = popc(b)
+	movz x3, 0
+tinit:
+	popc x4, x3
+	add  x6, x17, x3
+	strb x4, [x6]
+	addi x3, x3, 1
+	li   x6, 256
+	blt  x3, x6, tinit
+batch:
+	; ---- phase A: LUT method over 192 words ----
+	movz x2, 0
+lutloop:
+	li   x6, 0xBF58476D1CE4E5B9
+	mul  x5, x5, x6
+	lsri x6, x5, 31
+	xor  x5, x5, x6
+	movz x7, 0
+	mov  x9, x5
+	movz x10, 0
+bytes:
+	andi x11, x9, 255
+	add  x11, x11, x17
+	ldrb x12, [x11]
+	add  x7, x7, x12
+	lsri x9, x9, 8
+	addi x10, x10, 1
+	li   x11, 8
+	blt  x10, x11, bytes
+	add  x8, x8, x7
+	strd x8, [x19]
+	addi x2, x2, 1
+	li   x9, 192
+	blt  x2, x9, lutloop
+	; ---- phase B: register tree over 1024 words (no memory) ----
+	movz x2, 0
+treeloop:
+	li   x6, 0xBF58476D1CE4E5B9
+	mul  x5, x5, x6
+	lsri x6, x5, 31
+	xor  x5, x5, x6
+	lsri x6, x5, 1
+	and  x6, x6, x20
+	sub  x6, x5, x6
+	lsri x7, x6, 2
+	and  x7, x7, x21
+	and  x6, x6, x21
+	add  x6, x6, x7
+	lsri x7, x6, 4
+	add  x6, x6, x7
+	and  x6, x6, x22
+	mul  x6, x6, x23
+	lsri x6, x6, 56
+	add  x8, x8, x6
+	addi x2, x2, 1
+	li   x9, 1024
+	blt  x2, x9, treeloop
+	addi x15, x15, 1
+	li   x9, BATCHES
+	blt  x15, x9, batch
+	mov  x0, x8
+	svc
+	hlt
+	.align 8
+table: .space 256
+`
+
+const srcBlackscholes = `
+; Parsec blackscholes: price options with polynomial ln, rational exp and
+; a logistic CNDF. Long FP dependency chains with fdiv and fsqrt.
+	.equ NOPTS, 4000
+_start:
+	movz x2, 0               ; option index
+	li   x3, 0x3000000       ; output prices
+	li   x11, 0x3400000      ; input records (S,T perturbations)
+	lif  f20, x9, 1.0
+	lif  f21, x9, 2.0
+	lif  f22, x9, 3.0
+	lif  f23, x9, 0.05       ; r
+	lif  f24, x9, 0.2        ; sigma
+	lif  f25, x9, 1.7        ; logistic slope
+	lif  f26, x9, 100.0
+loop:
+	; S = 90 + (i % 64) + in.dS, K = 100, T = 0.25 + (i%16)/32 + in.dT
+	ldrf f27, [x11]          ; input record: dS
+	ldrf f28, [x11, 8]       ; input record: dT
+	addi x11, x11, 16
+	andi x4, x2, 63
+	scvtf f1, x4
+	lif  f2, x9, 90.0
+	fadd f1, f1, f2
+	fadd f1, f1, f27         ; S
+	andi x4, x2, 15
+	scvtf f3, x4
+	lif  f4, x9, 0.03125
+	fmul f3, f3, f4
+	lif  f4, x9, 0.25
+	fadd f3, f3, f4
+	fadd f3, f3, f28         ; T
+	; x = S/K ; ln(x) = 2z(1 + z^2/3 + z^4/5), z = (x-1)/(x+1)
+	fdiv f5, f1, f26         ; x = S/K (K=100)
+	fsub f6, f5, f20
+	fadd f7, f5, f20
+	fdiv f8, f6, f7          ; z
+	fmul f9, f8, f8          ; z^2
+	lif  f10, x9, 0.3333333333333333
+	fmul f11, f9, f10
+	fmul f12, f9, f9
+	lif  f10, x9, 0.2
+	fmul f12, f12, f10
+	fadd f11, f11, f20
+	fadd f11, f11, f12
+	fmul f11, f11, f8
+	fadd f11, f11, f11       ; ln(S/K)
+	; d1 = (ln(S/K) + (r + sigma^2/2) T) / (sigma sqrt(T))
+	fmul f12, f24, f24
+	fdiv f12, f12, f21
+	fadd f12, f12, f23
+	fmul f12, f12, f3
+	fadd f12, f12, f11
+	fsqrt f13, f3
+	fmul f13, f13, f24
+	fdiv f14, f12, f13       ; d1
+	fsub f15, f14, f13       ; d2
+	strf f14, [sp, -16]      ; spill d1/d2 (register pressure, as the
+	strf f15, [sp, -8]       ;  compiled kernel does)
+	ldrf f14, [sp, -16]
+	ldrf f15, [sp, -8]
+	; CNDF(x) ~ 0.5 + x(a1 + x^2(a3 + x^2 a5)) (odd polynomial fit;
+	; mul/add only — the divide-free form real kernels use)
+	fmul f16, f14, f14       ; d1^2
+	lif  f17, x9, -0.004
+	fmul f17, f16, f17
+	lif  f18, x9, -0.0455
+	fadd f17, f17, f18       ; a3 + d1^2 a5
+	fmul f17, f17, f16
+	lif  f18, x9, 0.3989
+	fadd f17, f17, f18       ; a1 + ...
+	fmul f17, f17, f14
+	lif  f18, x9, 0.5
+	fadd f16, f17, f18       ; CNDF(d1)
+	fmul f16, f16, f1        ; S*CNDF(d1)
+	; CNDF(d2), same polynomial
+	fmul f17, f15, f15
+	lif  f18, x9, -0.004
+	fmul f17, f17, f18
+	lif  f18, x9, -0.0455
+	fadd f17, f17, f18
+	fmul f18, f15, f15
+	fmul f17, f17, f18
+	lif  f18, x9, 0.3989
+	fadd f17, f17, f18
+	fmul f17, f17, f15
+	lif  f18, x9, 0.5
+	fadd f17, f17, f18       ; CNDF(d2)
+	strf f16, [sp, -24]      ; spill S*CNDF(d1) around the discounting
+	ldrf f16, [sp, -24]
+	; K e^{-rT} ~ K (1 - rT + (rT)^2/2): mul/add expansion
+	fmul f18, f23, f3        ; rT
+	fmul f19, f18, f18
+	lif  f2, x9, 0.5
+	fmul f19, f19, f2
+	fsub f19, f19, f18
+	fadd f19, f19, f20       ; e^{-rT}
+	fmul f19, f19, f26       ; K e^{-rT}
+	fmul f17, f17, f19
+	fsub f16, f16, f17       ; call price
+	strf f16, [x3]
+	addi x3, x3, 8
+	addi x2, x2, 1
+	li   x4, NOPTS
+	blt  x2, x4, loop
+	li   x0, 0
+	svc
+	hlt
+`
+
+const srcFluidanimate = `
+; Parsec fluidanimate: 1-D grid relaxation with neighbour reads and a
+; clamping branch, iterated over passes.
+	.equ CELLS, 16384
+	.equ PASSES, 8
+_start:
+	li   x1, 0x4000000       ; grid
+	lif  f20, x9, 0.25
+	lif  f21, x9, 0.5
+	lif  f22, x9, 10.0       ; clamp threshold
+	movz x10, 0              ; pass
+pass:
+	mov  x2, x1
+	movz x3, 1               ; cell index, interior only
+loop:
+	ldrf f1, [x2]            ; left
+	ldrf f2, [x2, 8]         ; centre
+	ldrf f3, [x2, 16]        ; right
+	fadd f4, f1, f3
+	fmul f4, f4, f20
+	fmul f5, f2, f21
+	fadd f4, f4, f5
+	lif  f6, x9, 0.125
+	fadd f4, f4, f6          ; source term
+	flt  x4, f22, f4         ; if new > threshold
+	cbz  x4, nostep
+	fsub f4, f4, f21         ; damp
+nostep:
+	strf f4, [x2, 8]
+	addi x2, x2, 8
+	addi x3, x3, 1
+	li   x5, CELLS
+	blt  x3, x5, loop
+	addi x10, x10, 1
+	li   x5, PASSES
+	blt  x10, x5, pass
+	li   x0, 0
+	svc
+	hlt
+`
+
+const srcSwaptions = `
+; Parsec swaptions: Monte-Carlo path simulation — PRNG integer mixing
+; feeding FP transforms; one store per 64-iteration batch.
+	.equ PATHS, 20000
+_start:
+	li   x5, 0x853C49E6748FEA9B ; PRNG
+	li   x1, 0x5000000       ; results
+	li   x10, 0x5800000      ; forward-rate curve
+	movz x2, 0
+	lif  f10, x9, 0.0        ; accumulator
+	lif  f20, x9, 1.0
+	lif  f21, x9, 0.001
+	lif  f22, x9, 0.0001
+loop:
+	; term-structure input for this path (zero-initialised curve)
+	andi x9, x2, 1023
+	lsli x9, x9, 3
+	add  x9, x9, x10
+	ldrf f6, [x9]
+	fadd f10, f10, f6
+	; PRNG step
+	li   x6, 0x5851F42D4C957F2D
+	mul  x5, x5, x6
+	addi x5, x5, 1
+	lsri x6, x5, 33
+	xor  x6, x6, x5
+	; u in [0,1): take 52 high bits
+	lsri x6, x6, 12
+	scvtf f1, x6
+	fmul f1, f1, f22
+	fmul f1, f1, f21         ; scale to small range
+	fadd f2, f1, f20
+	fsqrt f3, f2             ; vol path step
+	fmul f4, f3, f21         ; scaled step (reciprocal hoisted)
+	fadd f10, f10, f4
+	strf f4, [x1]            ; write the path matrix entry (HJM style)
+	addi x1, x1, 8
+	addi x2, x2, 1
+	andi x7, x2, 1023
+	cbnz x7, skip
+	li   x1, 0x5000000       ; wrap the path buffer
+skip:
+	li   x8, PATHS
+	blt  x2, x8, loop
+	li   x0, 0
+	svc
+	hlt
+`
+
+const srcFreqmine = `
+; Parsec freqmine: frequency counting into hash buckets — irregular
+; read-modify-write traffic with data-dependent branches.
+	.equ ITEMS, 30000
+_start:
+	li   x1, 0x6000000       ; 1 MiB counter table (2^17 dwords)
+	li   x5, 0xDA942042E4DD58B5 ; PRNG
+	movz x2, 0
+	movz x8, 0               ; hot-bucket count
+loop:
+	li   x6, 0x2545F4914F6CDD1D
+	mul  x5, x5, x6
+	lsri x6, x5, 29
+	xor  x6, x6, x5
+	; bucket = mix & (2^17 - 1)
+	li   x7, 0x1ffff
+	and  x6, x6, x7
+	lsli x6, x6, 3
+	add  x6, x6, x1
+	ldrd x7, [x6]
+	addi x7, x7, 1
+	strd x7, [x6]
+	; branchy post-processing: every 8th hit on a bucket is "hot"
+	andi x9, x7, 7
+	cbnz x9, cold
+	addi x8, x8, 1
+	andi x9, x8, 1
+	cbnz x9, cold
+	addi x8, x8, 0           ; balanced path
+cold:
+	addi x2, x2, 1
+	li   x9, ITEMS
+	blt  x2, x9, loop
+	mov  x0, x8
+	svc
+	hlt
+`
+
+const srcBodytrack = `
+; Parsec bodytrack: particle filter update over (pos, vel) state pairs,
+; using LDP/STP macro-ops, FP weighting and a sign branch.
+	.equ PARTICLES, 8192
+	.equ PASSES, 4
+_start:
+	li   x1, 0x7000000       ; particle state: pairs of doubles-as-bits
+	lif  f20, x9, 0.9
+	lif  f21, x9, 0.1
+	lif  f22, x9, 0.0
+	movz x10, 0
+pass:
+	mov  x2, x1
+	movz x3, 0
+loop:
+	ldp  x4, x5, [x2]        ; pos bits, vel bits
+	fmovfx f1, x4
+	fmovfx f2, x5
+	fmul f3, f2, f20         ; damped velocity
+	fadd f1, f1, f3          ; integrate
+	flt  x6, f1, f22         ; reflect at zero
+	cbz  x6, noflip
+	fneg f1, f1
+	fneg f3, f3
+noflip:
+	fadd f3, f3, f21         ; drift
+	fmovxf x4, f1
+	fmovxf x5, f3
+	stp  x4, x5, [x2]
+	addi x2, x2, 16
+	addi x3, x3, 1
+	li   x7, PARTICLES
+	blt  x3, x7, loop
+	addi x10, x10, 1
+	li   x7, PASSES
+	blt  x10, x7, pass
+	li   x0, 0
+	svc
+	hlt
+`
+
+const srcFacesim = `
+; Parsec facesim: 5-point stencil relaxation over a 128x128 double grid.
+	.equ DIM, 128
+	.equ PASSES, 3
+_start:
+	li   x1, 0x8000000       ; grid base
+	lif  f20, x9, 0.2
+	movz x10, 0
+pass:
+	movz x2, 1               ; row (interior)
+rowloop:
+	; row base = grid + row*DIM*8
+	li   x3, 1024            ; DIM*8
+	mul  x4, x2, x3
+	add  x4, x4, x1
+	movz x5, 1               ; col
+colloop:
+	lsli x6, x5, 3
+	add  x6, x6, x4          ; &g[row][col]
+	ldrf f1, [x6]            ; centre
+	ldrf f2, [x6, -8]        ; west
+	ldrf f3, [x6, 8]         ; east
+	ldrf f4, [x6, -1024]     ; north
+	ldrf f5, [x6, 1024]      ; south
+	fadd f2, f2, f3
+	fadd f4, f4, f5
+	fadd f2, f2, f4
+	fadd f2, f2, f1
+	fmul f2, f2, f20         ; average of 5
+	lif  f6, x9, 0.01
+	fadd f2, f2, f6          ; source
+	strf f2, [x6]
+	addi x5, x5, 1
+	li   x7, DIM
+	subi x7, x7, 1
+	blt  x5, x7, colloop
+	addi x2, x2, 1
+	li   x7, DIM
+	subi x7, x7, 1
+	blt  x2, x7, rowloop
+	addi x10, x10, 1
+	li   x7, PASSES
+	blt  x10, x7, pass
+	li   x0, 0
+	svc
+	hlt
+`

@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"testing"
+
+	"paradet/internal/asm"
+	"paradet/internal/isa"
+	"paradet/internal/mem"
+	"paradet/internal/trace"
+)
+
+func TestRegistryMatchesNames(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("want the paper's 9 benchmarks, have %d", len(names))
+	}
+	if len(All()) != len(names) {
+		t.Fatalf("registry size %d != names %d", len(All()), len(names))
+	}
+	for _, n := range names {
+		info, src, err := Get(n)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", n, err)
+		}
+		if info.Name != n || info.Suite == "" || info.Class == "" ||
+			info.Description == "" || info.DefaultMaxInstrs == 0 {
+			t.Errorf("%s: incomplete info %+v", n, info)
+		}
+		if src == "" {
+			t.Errorf("%s: empty source", n)
+		}
+	}
+	if _, _, err := Get("nope"); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+// TestKernelsExecuteToCompletion functionally runs every kernel to its
+// HLT and sanity-checks the retired instruction count and output.
+func TestKernelsExecuteToCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full functional runs are slow")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, src, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			o := trace.NewOracle(prog, mem.NewSparse(), 30_000_000)
+			var di isa.DynInst
+			for o.Next(&di) {
+			}
+			if o.Err != nil {
+				t.Fatalf("program fault: %v", o.Err)
+			}
+			if !di.Halt {
+				t.Fatalf("kernel did not reach HLT within 30M instructions (%d retired)",
+					o.M.InstCount)
+			}
+			if len(o.Env.Output) == 0 {
+				t.Error("kernel must emit a checksum via SVC")
+			}
+			// Each kernel must run well past its default sample so the
+			// harness never measures a truncated tail.
+			info, _, _ := Get(name)
+			if o.M.InstCount < info.DefaultMaxInstrs {
+				t.Errorf("kernel retires %d < default sample %d",
+					o.M.InstCount, info.DefaultMaxInstrs)
+			}
+		})
+	}
+}
+
+// TestKernelMemoryCharacter verifies the class labels against actual
+// memory-operation density, which the figures' shapes rely on.
+func TestKernelMemoryCharacter(t *testing.T) {
+	density := func(name string) float64 {
+		_, src, _ := Get(name)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := trace.NewOracle(prog, mem.NewSparse(), 30_000)
+		var di isa.DynInst
+		var memops uint64
+		for o.Next(&di) {
+			memops += uint64(di.NMem)
+		}
+		return float64(memops) / float64(o.M.InstCount)
+	}
+	bc := density("bitcount")
+	st := density("stream")
+	ra := density("randacc")
+	// bitcount alternates a LUT phase with a long register-only phase:
+	// modest overall density, far below the streaming kernels.
+	if bc > 0.15 || bc >= st/2 {
+		t.Errorf("bitcount memop density %.3f, want sparse vs stream %.3f", bc, st)
+	}
+	if st < 0.2 {
+		t.Errorf("stream memop density %.3f, want heavy", st)
+	}
+	if ra < 0.08 {
+		t.Errorf("randacc memop density %.3f, want substantial", ra)
+	}
+}

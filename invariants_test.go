@@ -1,0 +1,198 @@
+package paradet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestProtectionTransparencyProperty is the system's core soundness
+// property: across random detection-hardware configurations, protection
+// never changes program semantics (same outputs), never reports an error
+// on a fault-free run, and always completes every check (§IV-H liveness).
+func TestProtectionTransparencyProperty(t *testing.T) {
+	p := MustAssemble(sumLoop)
+	golden, err := RunUnprotected(DefaultConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(nCheckers, logKiB, timeout, freqSel uint8) bool {
+		cfg := DefaultConfig()
+		cfg.NumCheckers = 2 + int(nCheckers%15)
+		cfg.LogBytes = cfg.NumCheckers * (1 + int(logKiB%8)) * 1024
+		cfg.TimeoutInstrs = 100 + uint64(timeout)*40
+		cfg.CheckerHz = []uint64{125_000_000, 250_000_000, 500_000_000,
+			1_000_000_000, 2_000_000_000}[freqSel%5]
+		res, err := Run(cfg, p)
+		if err != nil {
+			t.Logf("cfg %+v: %v", cfg, err)
+			return false
+		}
+		if res.FirstError != nil || len(res.AllErrors) > 0 {
+			t.Logf("cfg %+v: false positive %+v", cfg, res.AllErrors)
+			return false
+		}
+		if !outputsEqual(res.Output, golden.Output) {
+			t.Logf("cfg %+v: outputs %v != %v", cfg, res.Output, golden.Output)
+			return false
+		}
+		if res.Instructions != golden.Instructions {
+			t.Logf("cfg %+v: instrs %d != %d", cfg, res.Instructions, golden.Instructions)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetectionSoundnessProperty: any single-bit store-value fault at a
+// random position is detected, for random detection configurations.
+func TestDetectionSoundnessProperty(t *testing.T) {
+	p := MustAssemble(faultKernel)
+	f := func(seqSel uint16, bit uint8, nCheckers uint8) bool {
+		cfg := faultConfig()
+		cfg.NumCheckers = 2 + int(nCheckers%10)
+		cfg.LogBytes = cfg.NumCheckers * 2048
+		// faultKernel runs ~1000 instructions; strike inside the loop.
+		seq := 10 + uint64(seqSel)%900
+		res, err := RunWithFaults(cfg, p, []Fault{
+			{Target: FaultStoreValue, Seq: seq, Bit: bit % 64},
+		})
+		if err != nil {
+			t.Logf("seq %d: %v", seq, err)
+			return false
+		}
+		// The strike only fires if seq hits a store; when it does, the
+		// error must be detected and confirmed.
+		if res.FirstError != nil {
+			return res.FirstError.Confirmed
+		}
+		// Not a store at that seq: must be a clean run.
+		return len(res.AllErrors) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDelayMonotonicityProperty: growing the log (with everything else
+// fixed) cannot reduce checkpoint frequency below the timeout floor, and
+// mean detection delay is non-decreasing in segment size.
+func TestDelayMonotonicityProperty(t *testing.T) {
+	p, _, err := LoadWorkload("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 30000
+	var prev float64
+	for i, kib := range []int{12, 36, 108} {
+		cfg.LogBytes = kib * 1024
+		res, err := Run(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Delay.MeanNS < prev {
+			t.Fatalf("mean delay decreased when log grew to %d KiB: %.0f < %.0f",
+				kib, res.Delay.MeanNS, prev)
+		}
+		prev = res.Delay.MeanNS
+	}
+}
+
+// TestCheckerFrequencyMonotonicity: faster checkers never increase the
+// mean detection delay.
+func TestCheckerFrequencyMonotonicity(t *testing.T) {
+	p, _, err := LoadWorkload("freqmine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 30000
+	var prev float64
+	for i, hz := range []uint64{250_000_000, 500_000_000, 1_000_000_000, 2_000_000_000} {
+		cfg.CheckerHz = hz
+		res, err := Run(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Delay.MeanNS > prev*1.05 {
+			t.Fatalf("mean delay grew with a faster checker clock (%d Hz): %.0f > %.0f",
+				hz, res.Delay.MeanNS, prev)
+		}
+		prev = res.Delay.MeanNS
+	}
+}
+
+// TestDensityIntegratesToCoveredFraction: the exported delay density must
+// integrate to the binned fraction of samples.
+func TestDensityIntegratesToCoveredFraction(t *testing.T) {
+	p, _, err := LoadWorkload("facesim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 30000
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var integral float64
+	for _, pt := range res.DelayDensity {
+		integral += pt.Density * 50 // bin width in ns
+	}
+	if integral > 1.0001 {
+		t.Fatalf("density integrates to %v > 1", integral)
+	}
+	if res.Delay.FracBelow5us > 0.999 && integral < 0.99 {
+		t.Fatalf("density integral %v inconsistent with %v below 5us",
+			integral, res.Delay.FracBelow5us)
+	}
+}
+
+// TestResultStringIsInformative covers the human-readable rendering.
+func TestResultStringIsInformative(t *testing.T) {
+	p := MustAssemble(sumLoop)
+	res, err := Run(smallConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if s == "" || res.Workload != "user" {
+		t.Errorf("render: %q", s)
+	}
+	fa, err := RunWithFaults(faultConfig(), MustAssemble(faultKernel), []Fault{
+		{Target: FaultStoreValue, Seq: 40, Bit: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := fa.String(); fs == "" {
+		t.Error("faulted render empty")
+	}
+}
+
+// TestCheckerUtilisationBounds: utilisation fractions are sane and more
+// checkers at the same clock lower per-checker utilisation.
+func TestCheckerUtilisationBounds(t *testing.T) {
+	p, _, err := LoadWorkload("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInstrs = 30000
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CheckerUtilization) != cfg.NumCheckers {
+		t.Fatalf("utilisation entries %d != %d checkers",
+			len(res.CheckerUtilization), cfg.NumCheckers)
+	}
+	for i, u := range res.CheckerUtilization {
+		if u < 0 || u > 1 {
+			t.Errorf("checker %d utilisation %v out of [0,1]", i, u)
+		}
+	}
+}

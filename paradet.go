@@ -1,0 +1,122 @@
+// Package paradet is a library-level reproduction of "Parallel Error
+// Detection Using Heterogeneous Cores" (Ainsworth & Jones, DSN 2018).
+//
+// It simulates, cycle-level and from scratch, the paper's architecture: a
+// high-performance out-of-order main core whose committed loads and stores
+// are captured into a partitioned load-store log, with periodic register
+// checkpoints splitting execution into independent segments that a set of
+// small in-order checker cores re-execute and validate in parallel. The
+// library also provides the paper's comparison baselines (dual-core
+// lockstep and redundant multithreading), a fault injector covering every
+// architectural propagation path the paper discusses, the paper's nine
+// evaluation workloads as synthetic PDX64 kernels, and analytic area and
+// power models.
+//
+// Quick start:
+//
+//	prog, _, err := paradet.LoadWorkload("stream")
+//	if err != nil { ... }
+//	res, err := paradet.Run(paradet.DefaultConfig(), prog)
+//	fmt.Printf("slowdown %.3f, mean detection delay %.0f ns\n",
+//	    res.SlowdownVsUnprotected, res.Delay.MeanNS)
+package paradet
+
+import (
+	"fmt"
+	"math"
+
+	"paradet/internal/sim"
+)
+
+// NoTimeout disables the segment instruction timeout (the paper's "∞"
+// configurations in Figs. 10 and 12).
+const NoTimeout = math.MaxUint64
+
+// Config holds every knob the paper's evaluation sweeps, with Table I
+// defaults available from DefaultConfig.
+type Config struct {
+	// MainCoreHz is the out-of-order core clock (Table I: 3.2 GHz).
+	MainCoreHz uint64
+	// CheckerHz is the checker-core clock (Table I: 1 GHz; Fig. 9 sweeps
+	// 125 MHz-2 GHz).
+	CheckerHz uint64
+	// NumCheckers is the number of checker cores and, one-to-one, log
+	// segments (Table I: 12; Fig. 13 sweeps 3-12).
+	NumCheckers int
+	// LogBytes is the total load-store log SRAM (Table I: 36 KiB, i.e.
+	// 3 KiB per core; Figs. 10/12 sweep 3.6 KiB-360 KiB).
+	LogBytes int
+	// EntryBytes is the SRAM cost of one log entry (address + value +
+	// metadata).
+	EntryBytes int
+	// TimeoutInstrs is the per-segment instruction timeout (Table I:
+	// 5000; NoTimeout disables).
+	TimeoutInstrs uint64
+	// CheckpointCycles is the commit pause for an architectural register
+	// checkpoint (Table I: 16 cycles).
+	CheckpointCycles int64
+	// InterruptIntervalNS, when non-zero, seals segments on periodic
+	// interrupt boundaries (§IV-G).
+	InterruptIntervalNS uint64
+	// MaxInstrs bounds the simulated committed instructions (0 = run to
+	// completion). The evaluation uses it to sample long kernels.
+	MaxInstrs uint64
+	// DisableCheckers makes every check complete instantly, isolating
+	// the checkpoint/log overhead on the main core (paper Fig. 10).
+	DisableCheckers bool
+	// BigCore swaps in the aggressive 6-wide 4 GHz main core of the
+	// paper's §VI-D discussion. MainCoreHz is ignored when set.
+	BigCore bool
+}
+
+// DefaultConfig returns the paper's Table I configuration.
+func DefaultConfig() Config {
+	return Config{
+		MainCoreHz:       3_200_000_000,
+		CheckerHz:        1_000_000_000,
+		NumCheckers:      12,
+		LogBytes:         36 * 1024,
+		EntryBytes:       16,
+		TimeoutInstrs:    5000,
+		CheckpointCycles: 16,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.MainCoreHz == 0:
+		return fmt.Errorf("paradet: main core frequency must be positive")
+	case c.CheckerHz == 0:
+		return fmt.Errorf("paradet: checker frequency must be positive")
+	case c.NumCheckers < 2:
+		// The one-to-one segment/checker mapping needs at least one
+		// buffer filling while another checks (§IV-D); a single segment
+		// could never seal.
+		return fmt.Errorf("paradet: need at least two checker cores")
+	case c.EntryBytes <= 0:
+		return fmt.Errorf("paradet: entry size must be positive")
+	case c.LogBytes/c.NumCheckers/c.EntryBytes < 2:
+		return fmt.Errorf("paradet: log segments must hold at least one macro-op (2 entries)")
+	case c.TimeoutInstrs == 0:
+		return fmt.Errorf("paradet: timeout must be positive (use NoTimeout to disable)")
+	case c.CheckpointCycles < 0:
+		return fmt.Errorf("paradet: checkpoint cycles must be non-negative")
+	}
+	if _, err := safeClock(c.MainCoreHz); err != nil {
+		return err
+	}
+	if _, err := safeClock(c.CheckerHz); err != nil {
+		return err
+	}
+	return nil
+}
+
+func safeClock(hz uint64) (clk sim.Clock, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("paradet: %v", r)
+		}
+	}()
+	return sim.NewClock(hz), nil
+}

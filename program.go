@@ -1,0 +1,47 @@
+package paradet
+
+import (
+	"paradet/internal/asm"
+	"paradet/internal/isa"
+)
+
+// Program is an assembled PDX64 memory image ready to run.
+type Program struct {
+	prog *isa.Program
+	name string
+}
+
+// Assemble builds a Program from PDX64 assembly source (see the syntax
+// summary in internal/asm). Errors carry source line numbers.
+func Assemble(src string) (*Program, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p, name: "user"}, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and examples
+// with known-good source.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name reports the program's name (the workload name, or "user").
+func (p *Program) Name() string { return p.name }
+
+// Entry reports the entry PC.
+func (p *Program) Entry() uint64 { return p.prog.Entry }
+
+// Symbol looks up a label's address.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	v, ok := p.prog.Symbols[name]
+	return v, ok
+}
+
+// SizeBytes reports the image size.
+func (p *Program) SizeBytes() int { return len(p.prog.Image) }

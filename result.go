@@ -1,0 +1,130 @@
+package paradet
+
+import (
+	"fmt"
+
+	detect "paradet/internal/core"
+	"paradet/internal/mem"
+	"paradet/internal/stats"
+)
+
+// DelaySummary digests the distribution of detection delays (time from a
+// load/store committing on the main core to its validation on a checker
+// core), the quantity the paper plots in Figs. 8, 11 and 12.
+type DelaySummary struct {
+	Samples      uint64
+	MeanNS       float64
+	MaxNS        float64
+	P50NS        float64
+	P99NS        float64
+	P999NS       float64
+	FracBelow5us float64 // paper: 99.9% of loads/stores within 5000 ns
+}
+
+// DensityPoint is one point of the delay density plot (paper Fig. 8).
+type DensityPoint struct {
+	DelayNS float64
+	Density float64
+}
+
+// ErrorInfo describes one detected error.
+type ErrorInfo struct {
+	Kind       string
+	SegmentSeq uint64
+	InstSeq    uint64
+	Detail     string
+	DetectedNS float64
+	// Confirmed marks the provably-first error: every earlier segment
+	// checked clean (the strong-induction guarantee, §IV).
+	Confirmed bool
+}
+
+// Result reports one simulated run.
+type Result struct {
+	Workload  string
+	Protected bool
+
+	// Performance.
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+	TimeNS       float64
+
+	// Detection-side accounting (zero for unprotected runs).
+	Delay              DelaySummary
+	DelayDensity       []DensityPoint
+	Checkpoints        uint64
+	SealsByReason      map[string]uint64
+	SegmentsChecked    uint64
+	EntriesLogged      uint64
+	LogFullStallCycles uint64
+	CheckpointStallNS  float64
+	LFUPeak            int
+
+	// Main-core microarchitecture counters.
+	Loads, Stores, Branches, Mispredicts uint64
+
+	// Checker activity: fraction of wall-clock each checker spent busy.
+	CheckerUtilization []float64
+
+	// Errors.
+	FirstError *ErrorInfo
+	AllErrors  []ErrorInfo
+
+	// Program-level outputs (SVC writes) and termination.
+	Output    []uint64
+	ProgFault string // non-empty if the program ended on a fault (§IV-H)
+
+	// finalMem is the committed architectural memory at the end of the
+	// run, used by the fault-campaign classifier.
+	finalMem *mem.Sparse
+}
+
+func errorInfo(e *detect.ErrorReport) ErrorInfo {
+	return ErrorInfo{
+		Kind:       e.Kind.String(),
+		SegmentSeq: e.SegSeqNo,
+		InstSeq:    e.InstSeq,
+		Detail:     e.Detail,
+		DetectedNS: e.DetectedAt.Nanoseconds(),
+		Confirmed:  e.Confirmed,
+	}
+}
+
+func delaySummary(h *stats.Hist) (DelaySummary, []DensityPoint) {
+	s := h.Summarize()
+	d := DelaySummary{
+		Samples:      s.Count,
+		MeanNS:       s.Mean,
+		MaxNS:        s.Max,
+		P50NS:        s.P50,
+		P99NS:        s.P99,
+		P999NS:       s.P999,
+		FracBelow5us: s.Below5000,
+	}
+	pts := h.Density()
+	out := make([]DensityPoint, len(pts))
+	for i, p := range pts {
+		out[i] = DensityPoint{DelayNS: p.X, Density: p.Density}
+	}
+	return d, out
+}
+
+// String renders a compact human-readable report.
+func (r *Result) String() string {
+	mode := "unprotected"
+	if r.Protected {
+		mode = "protected"
+	}
+	s := fmt.Sprintf("%s [%s]: %d instrs, %d cycles, IPC %.2f, %.1f us",
+		r.Workload, mode, r.Instructions, r.Cycles, r.IPC, r.TimeNS/1000)
+	if r.Protected {
+		s += fmt.Sprintf("; mean delay %.0f ns (max %.1f us), %d checkpoints",
+			r.Delay.MeanNS, r.Delay.MaxNS/1000, r.Checkpoints)
+		if r.FirstError != nil {
+			s += fmt.Sprintf("; ERROR DETECTED: %s in segment %d",
+				r.FirstError.Kind, r.FirstError.SegmentSeq)
+		}
+	}
+	return s
+}

@@ -1,0 +1,182 @@
+package paradet
+
+import (
+	"strings"
+	"testing"
+)
+
+// sumLoop is a small kernel touching loads, stores, branches and pairs.
+const sumLoop = `
+	.equ N, 200
+_start:
+	la   x1, array
+	movz x2, 0          ; i
+	movz x3, 0          ; sum
+	la   x9, out
+init:
+	strd x2, [x1]       ; array[i] = i
+	addi x1, x1, 8
+	addi x2, x2, 1
+	slti x4, x2, N
+	bne  x4, xzr, init
+	la   x1, array
+	movz x2, 0
+loop:
+	ldrd x5, [x1]
+	add  x3, x3, x5
+	addi x1, x1, 8
+	addi x2, x2, 1
+	slti x4, x2, N
+	bne  x4, xzr, loop
+	strd x3, [x9]
+	mov  x0, x3
+	svc                 ; emit sum
+	hlt
+	.align 8
+array: .space 1600
+out:   .dword 0
+`
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumCheckers = 4
+	cfg.LogBytes = 4 * 4 * 1024
+	return cfg
+}
+
+func TestEndToEndProtectedRunMatchesFunctionalResult(t *testing.T) {
+	p := MustAssemble(sumLoop)
+	res, err := Run(smallConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum 0..199 = 19900
+	if len(res.Output) != 1 || res.Output[0] != 19900 {
+		t.Fatalf("output = %v, want [19900]", res.Output)
+	}
+	if res.FirstError != nil {
+		t.Fatalf("fault-free run flagged an error: %+v", res.FirstError)
+	}
+	if len(res.AllErrors) != 0 {
+		t.Fatalf("fault-free run produced checker errors: %+v", res.AllErrors)
+	}
+	if res.Instructions == 0 || res.Cycles == 0 || res.IPC <= 0 {
+		t.Fatalf("implausible stats: %+v", res)
+	}
+	if res.Checkpoints == 0 || res.SegmentsChecked != res.Checkpoints {
+		t.Fatalf("checkpoints %d, segments checked %d", res.Checkpoints, res.SegmentsChecked)
+	}
+	if res.Delay.Samples == 0 {
+		t.Fatal("no detection delays recorded")
+	}
+	if res.EntriesLogged == 0 {
+		t.Fatal("no log entries recorded")
+	}
+}
+
+func TestProtectedVsUnprotectedOverheadIsSmall(t *testing.T) {
+	p := MustAssemble(sumLoop)
+	slow, prot, base, err := Slowdown(smallConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.Instructions != base.Instructions {
+		t.Fatalf("instruction counts differ: %d vs %d", prot.Instructions, base.Instructions)
+	}
+	if slow < 1.0 {
+		t.Fatalf("protection cannot speed the core up: slowdown %.4f", slow)
+	}
+	if slow > 1.6 {
+		t.Fatalf("slowdown %.3f implausibly high for default-like settings", slow)
+	}
+}
+
+func TestUnprotectedRunHasNoDetectionState(t *testing.T) {
+	p := MustAssemble(sumLoop)
+	res, err := RunUnprotected(smallConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protected || res.Checkpoints != 0 || res.Delay.Samples != 0 {
+		t.Fatalf("unprotected run carries detection state: %+v", res)
+	}
+}
+
+func TestDisabledCheckersStillCheckpoint(t *testing.T) {
+	p := MustAssemble(sumLoop)
+	cfg := smallConfig()
+	cfg.DisableCheckers = true
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoints == 0 {
+		t.Fatal("checkpointing must still occur with checkers disabled")
+	}
+	if res.LogFullStallCycles != 0 {
+		t.Fatal("infinitely fast checks cannot cause log-full stalls")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := MustAssemble("hlt")
+	bad := []func(*Config){
+		func(c *Config) { c.MainCoreHz = 0 },
+		func(c *Config) { c.CheckerHz = 0 },
+		func(c *Config) { c.NumCheckers = 0 },
+		func(c *Config) { c.NumCheckers = 1 },
+		func(c *Config) { c.LogBytes = 0 },
+		func(c *Config) { c.TimeoutInstrs = 0 },
+		func(c *Config) { c.CheckpointCycles = -1 },
+		func(c *Config) { c.MainCoreHz = 3_333_333_333 }, // non-integral period
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg, p); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAssembleErrorsSurface(t *testing.T) {
+	_, err := Assemble("bogus x1")
+	if err == nil || !strings.Contains(err.Error(), "unknown instruction") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRdtimeFlowsThroughLog(t *testing.T) {
+	p := MustAssemble(`
+	_start:
+		rdtime x1
+		rdtime x2
+		la x3, out
+		stp x1, x2, [x3]
+		hlt
+	out: .space 16
+	`)
+	res, err := Run(smallConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstError != nil || len(res.AllErrors) != 0 {
+		t.Fatalf("non-deterministic results must validate via the log: %+v", res.AllErrors)
+	}
+}
+
+func TestInterruptsSealSegmentsEarly(t *testing.T) {
+	p := MustAssemble(sumLoop)
+	cfg := smallConfig()
+	cfg.InterruptIntervalNS = 200
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SealsByReason["interrupt"] == 0 {
+		t.Fatalf("no interrupt seals with a 200 ns interval: %+v", res.SealsByReason)
+	}
+	if res.FirstError != nil {
+		t.Fatalf("interrupt boundaries must not cause false errors: %+v", res.FirstError)
+	}
+}

@@ -1,0 +1,44 @@
+package paradet
+
+import (
+	"paradet/internal/asm"
+	"paradet/internal/workloads"
+)
+
+// WorkloadInfo describes one of the nine evaluation kernels (the paper's
+// Table II equivalents).
+type WorkloadInfo struct {
+	Name        string
+	Suite       string
+	Class       string
+	Description string
+	// DefaultMaxInstrs is the committed-instruction sample the evaluation
+	// harness uses for this kernel.
+	DefaultMaxInstrs uint64
+}
+
+// Workloads lists the available workloads in the paper's Table II order.
+func Workloads() []WorkloadInfo {
+	out := make([]WorkloadInfo, 0, len(workloads.Names()))
+	for _, name := range workloads.Names() {
+		info, _, err := workloads.Get(name)
+		if err != nil {
+			panic(err) // registry and Names are defined together
+		}
+		out = append(out, WorkloadInfo(info))
+	}
+	return out
+}
+
+// LoadWorkload assembles one of the named workloads.
+func LoadWorkload(name string) (*Program, WorkloadInfo, error) {
+	info, src, err := workloads.Get(name)
+	if err != nil {
+		return nil, WorkloadInfo{}, err
+	}
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, WorkloadInfo{}, err
+	}
+	return &Program{prog: p, name: name}, WorkloadInfo(info), nil
+}
