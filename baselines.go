@@ -32,23 +32,11 @@ type BaselineResult struct {
 }
 
 // buildMainHierarchy assembles the Table I memory system for a single
-// main core (shared by the baseline runners; the protected system builds
-// its own in runSystem).
+// main core, reusing the SystemBuilder's memory construction step (the
+// baseline runners and the protected system share one hierarchy shape).
 func buildMainHierarchy(mainClk sim.Clock) (l1i, l1d *mem.Cache) {
-	dram := mem.NewDDR3()
-	l2 := mem.NewCache(mem.CacheConfig{
-		Name: "L2", SizeBytes: 1 << 20, Ways: 16, LineBytes: 64,
-		HitLat: mainClk.Duration(12), MSHRs: 16, Prefetch: true,
-	}, dram)
-	l1i = mem.NewCache(mem.CacheConfig{
-		Name: "L1I", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64,
-		HitLat: mainClk.Duration(2), MSHRs: 6,
-	}, l2)
-	l1d = mem.NewCache(mem.CacheConfig{
-		Name: "L1D", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64,
-		HitLat: mainClk.Duration(2), MSHRs: 6,
-	}, l2)
-	return l1i, l1d
+	m := newMainMemory(mainClk)
+	return m.l1i, m.l1d
 }
 
 // RunLockstep simulates the program under dual-core lockstep with

@@ -1,32 +1,70 @@
-package paradet
+package paradet_test
 
 // The benchmark harness regenerates every table and figure of the
 // paper's evaluation (one testing.B per artefact; see DESIGN.md §4).
-// Benchmarks run reduced instruction samples so `go test -bench=. ` is
-// minutes, not hours; cmd/experiments runs the full-size sweeps. Figures
-// are reported through b.ReportMetric, so `-benchmem`-style tooling can
-// track the reproduced numbers over time.
+// Sweep-shaped benchmarks are declared as campaign specs and executed
+// through internal/campaign's parallel sweep engine — the same path
+// internal/experiments and cmd/experiments use — so the harness also
+// exercises the production fan-out machinery. Benchmarks run reduced
+// instruction samples so `go test -bench=.` is minutes, not hours;
+// cmd/experiments runs the full-size sweeps. Figures are reported
+// through b.ReportMetric, so `-benchmem`-style tooling can track the
+// reproduced numbers over time.
 
 import (
 	"fmt"
 	"testing"
+
+	"paradet"
+	"paradet/internal/campaign"
 )
 
 const benchInstrs = 40_000
 
-func benchWorkload(b *testing.B, name string) *Program {
+func benchWorkload(b *testing.B, name string) *paradet.Program {
 	b.Helper()
-	p, _, err := LoadWorkload(name)
+	p, _, err := paradet.LoadWorkload(name)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return p
 }
 
-func benchConfig() Config {
-	cfg := DefaultConfig()
+func benchConfig() paradet.Config {
+	cfg := paradet.DefaultConfig()
 	cfg.MaxInstrs = benchInstrs
 	return cfg
+}
+
+// benchPoint wraps a config tweak into one campaign point.
+func benchPoint(label string, mutate func(*paradet.Config)) campaign.Point {
+	cfg := benchConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return campaign.Point{Label: label, Config: cfg}
+}
+
+// benchSweep executes a campaign spec once and fails the benchmark on
+// any spec-level or per-run error.
+func benchSweep(b *testing.B, spec campaign.Spec) *campaign.Outcome {
+	b.Helper()
+	out, err := campaign.Execute(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+func allWorkloads() []string {
+	var names []string
+	for _, w := range paradet.Workloads() {
+		names = append(names, w.Name)
+	}
+	return names
 }
 
 // BenchmarkTable1_DefaultConfig verifies and times a full protected run
@@ -35,7 +73,7 @@ func BenchmarkTable1_DefaultConfig(b *testing.B) {
 	p := benchWorkload(b, "stream")
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(cfg, p)
+		res, err := paradet.Run(cfg, p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,116 +84,116 @@ func BenchmarkTable1_DefaultConfig(b *testing.B) {
 	}
 }
 
-// BenchmarkTable2_Workloads runs every workload once per iteration
-// (protected), regenerating the Table II inventory.
+// BenchmarkTable2_Workloads sweeps every workload (protected) through
+// the campaign engine, regenerating the Table II inventory.
 func BenchmarkTable2_Workloads(b *testing.B) {
-	for _, w := range Workloads() {
-		w := w
-		b.Run(w.Name, func(b *testing.B) {
-			p := benchWorkload(b, w.Name)
-			cfg := benchConfig()
-			for i := 0; i < b.N; i++ {
-				if _, err := Run(cfg, p); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+	spec := campaign.Spec{
+		Name:      "bench-table2",
+		Workloads: allWorkloads(),
+		Points:    []campaign.Point{benchPoint("tableI", nil)},
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			b.ReportMetric(float64(len(out.Results)), "workloads")
+		}
 	}
 }
 
 // BenchmarkFig1d_SchemeComparison regenerates the lockstep / RMT /
-// paradet overhead triangle.
+// paradet overhead triangle as one mixed-scheme campaign.
 func BenchmarkFig1d_SchemeComparison(b *testing.B) {
-	p := benchWorkload(b, "swaptions")
 	cfg := benchConfig()
+	spec := campaign.Spec{
+		Name:      "bench-fig1d",
+		Workloads: []string{"swaptions"},
+		Points: []campaign.Point{
+			{Label: "lockstep", Config: cfg, Scheme: campaign.SchemeLockstep},
+			{Label: "rmt", Config: cfg, Scheme: campaign.SchemeRMT},
+			{Label: "paradet", Config: cfg, Scheme: campaign.SchemeProtected},
+		},
+		WithBaseline: true,
+	}
 	for i := 0; i < b.N; i++ {
-		base, err := RunUnprotected(cfg, p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		prot, err := Run(cfg, p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		ls, err := RunLockstep(cfg, p, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rm, err := RunRMT(cfg, p)
-		if err != nil {
-			b.Fatal(err)
-		}
+		out := benchSweep(b, spec)
 		if i == 0 {
-			b.ReportMetric(prot.TimeNS/base.TimeNS, "slowdown/paradet")
-			b.ReportMetric(ls.TimeNS/base.TimeNS, "slowdown/lockstep")
-			b.ReportMetric(rm.TimeNS/base.TimeNS, "slowdown/rmt")
+			for j := range out.Results {
+				r := &out.Results[j]
+				b.ReportMetric(r.Slowdown, "slowdown/"+r.Point.Label)
+			}
 		}
 	}
 }
 
 // BenchmarkFig7_Slowdown regenerates the per-benchmark slowdown at
-// standard settings (paper: mean 1.75%, max 3.4%).
+// standard settings (paper: mean 1.75%, max 3.4%), with the shared
+// unprotected baselines memoised by the campaign cache.
 func BenchmarkFig7_Slowdown(b *testing.B) {
-	for _, w := range Workloads() {
-		w := w
-		b.Run(w.Name, func(b *testing.B) {
-			p := benchWorkload(b, w.Name)
-			cfg := benchConfig()
-			for i := 0; i < b.N; i++ {
-				slow, _, _, err := Slowdown(cfg, p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if i == 0 {
-					b.ReportMetric(slow, "slowdown")
+	spec := campaign.Spec{
+		Name:         "bench-fig7",
+		Workloads:    allWorkloads(),
+		Points:       []campaign.Point{benchPoint("tableI", nil)},
+		WithBaseline: true,
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			var sum, max float64
+			for j := range out.Results {
+				s := out.Results[j].Slowdown
+				sum += s
+				if s > max {
+					max = s
 				}
 			}
-		})
+			b.ReportMetric(sum/float64(len(out.Results)), "meanSlowdown")
+			b.ReportMetric(max, "maxSlowdown")
+		}
 	}
 }
 
 // BenchmarkFig8_DelayDistribution regenerates the detection-delay
 // density (paper: mean 770 ns, 99.9% under 5000 ns).
 func BenchmarkFig8_DelayDistribution(b *testing.B) {
-	for _, name := range []string{"randacc", "stream", "facesim"} {
-		name := name
-		b.Run(name, func(b *testing.B) {
-			p := benchWorkload(b, name)
-			cfg := benchConfig()
-			for i := 0; i < b.N; i++ {
-				res, err := Run(cfg, p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if i == 0 {
-					b.ReportMetric(res.Delay.MeanNS, "meanDelayNs")
-					b.ReportMetric(res.Delay.FracBelow5us*100, "pctBelow5us")
-				}
+	spec := campaign.Spec{
+		Name:      "bench-fig8",
+		Workloads: []string{"randacc", "stream", "facesim"},
+		Points:    []campaign.Point{benchPoint("tableI", nil)},
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			for j := range out.Results {
+				r := &out.Results[j]
+				b.ReportMetric(r.Res.Delay.MeanNS, "meanDelayNs/"+r.Workload)
+				b.ReportMetric(r.Res.Delay.FracBelow5us*100, "pctBelow5us/"+r.Workload)
 			}
-		})
+		}
 	}
 }
 
 // BenchmarkFig9_CheckerClock regenerates slowdown vs checker frequency
 // (paper: compute-bound codes degrade sharply below 500 MHz).
 func BenchmarkFig9_CheckerClock(b *testing.B) {
+	var pts []campaign.Point
 	for _, hz := range []uint64{125_000_000, 500_000_000, 2_000_000_000} {
-		for _, name := range []string{"bitcount", "randacc"} {
-			hz, name := hz, name
-			b.Run(fmt.Sprintf("%s@%dMHz", name, hz/1_000_000), func(b *testing.B) {
-				p := benchWorkload(b, name)
-				cfg := benchConfig()
-				cfg.CheckerHz = hz
-				for i := 0; i < b.N; i++ {
-					slow, _, _, err := Slowdown(cfg, p)
-					if err != nil {
-						b.Fatal(err)
-					}
-					if i == 0 {
-						b.ReportMetric(slow, "slowdown")
-					}
-				}
-			})
+		hz := hz
+		pts = append(pts, benchPoint(fmt.Sprintf("%dMHz", hz/1_000_000),
+			func(c *paradet.Config) { c.CheckerHz = hz }))
+	}
+	spec := campaign.Spec{
+		Name:         "bench-fig9",
+		Workloads:    []string{"bitcount", "randacc"},
+		Points:       pts,
+		WithBaseline: true,
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			for j := range out.Results {
+				r := &out.Results[j]
+				b.ReportMetric(r.Slowdown, "slowdown/"+r.Workload+"@"+r.Point.Label)
+			}
 		}
 	}
 }
@@ -170,49 +208,57 @@ func BenchmarkFig10_CheckpointOnly(b *testing.B) {
 	}{
 		{"3.6KiB-500", 3686, 500},
 		{"36KiB-5000", 36 * 1024, 5000},
-		{"360KiB-inf", 360 * 1024, NoTimeout},
+		{"360KiB-inf", 360 * 1024, paradet.NoTimeout},
 	}
+	var pts []campaign.Point
 	for _, c := range configs {
 		c := c
-		b.Run(c.label, func(b *testing.B) {
-			p := benchWorkload(b, "fluidanimate")
-			cfg := benchConfig()
+		pts = append(pts, benchPoint(c.label, func(cfg *paradet.Config) {
 			cfg.LogBytes = c.bytes
 			cfg.TimeoutInstrs = c.timeout
 			cfg.DisableCheckers = true
-			for i := 0; i < b.N; i++ {
-				slow, _, _, err := Slowdown(cfg, p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if i == 0 {
-					b.ReportMetric(slow, "slowdown")
-				}
+		}))
+	}
+	spec := campaign.Spec{
+		Name:         "bench-fig10",
+		Workloads:    []string{"fluidanimate"},
+		Points:       pts,
+		WithBaseline: true,
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			for j := range out.Results {
+				r := &out.Results[j]
+				b.ReportMetric(r.Slowdown, "slowdown/"+r.Point.Label)
 			}
-		})
+		}
 	}
 }
 
 // BenchmarkFig11_DelayVsClock regenerates mean/max delay vs checker
 // frequency (paper: mean halves per clock doubling).
 func BenchmarkFig11_DelayVsClock(b *testing.B) {
+	var pts []campaign.Point
 	for _, hz := range []uint64{250_000_000, 1_000_000_000} {
 		hz := hz
-		b.Run(fmt.Sprintf("stream@%dMHz", hz/1_000_000), func(b *testing.B) {
-			p := benchWorkload(b, "stream")
-			cfg := benchConfig()
-			cfg.CheckerHz = hz
-			for i := 0; i < b.N; i++ {
-				res, err := Run(cfg, p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if i == 0 {
-					b.ReportMetric(res.Delay.MeanNS, "meanDelayNs")
-					b.ReportMetric(res.Delay.MaxNS, "maxDelayNs")
-				}
+		pts = append(pts, benchPoint(fmt.Sprintf("%dMHz", hz/1_000_000),
+			func(c *paradet.Config) { c.CheckerHz = hz }))
+	}
+	spec := campaign.Spec{
+		Name:      "bench-fig11",
+		Workloads: []string{"stream"},
+		Points:    pts,
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			for j := range out.Results {
+				r := &out.Results[j]
+				b.ReportMetric(r.Res.Delay.MeanNS, "meanDelayNs/"+r.Point.Label)
+				b.ReportMetric(r.Res.Delay.MaxNS, "maxDelayNs/"+r.Point.Label)
 			}
-		})
+		}
 	}
 }
 
@@ -228,24 +274,28 @@ func BenchmarkFig12_DelayVsLogSize(b *testing.B) {
 		{"36KiB-5000", 36 * 1024, 5000},
 		{"360KiB-50000", 360 * 1024, 50000},
 	}
+	var pts []campaign.Point
 	for _, c := range configs {
 		c := c
-		b.Run(c.label, func(b *testing.B) {
-			p := benchWorkload(b, "freqmine")
-			cfg := benchConfig()
+		pts = append(pts, benchPoint(c.label, func(cfg *paradet.Config) {
 			cfg.LogBytes = c.bytes
 			cfg.TimeoutInstrs = c.timeout
-			for i := 0; i < b.N; i++ {
-				res, err := Run(cfg, p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if i == 0 {
-					b.ReportMetric(res.Delay.MeanNS, "meanDelayNs")
-					b.ReportMetric(res.Delay.MaxNS, "maxDelayNs")
-				}
+		}))
+	}
+	spec := campaign.Spec{
+		Name:      "bench-fig12",
+		Workloads: []string{"freqmine"},
+		Points:    pts,
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			for j := range out.Results {
+				r := &out.Results[j]
+				b.ReportMetric(r.Res.Delay.MeanNS, "meanDelayNs/"+r.Point.Label)
+				b.ReportMetric(r.Res.Delay.MaxNS, "maxDelayNs/"+r.Point.Label)
 			}
-		})
+		}
 	}
 }
 
@@ -262,59 +312,92 @@ func BenchmarkFig13_CoreScaling(b *testing.B) {
 		{"12c-500MHz", 12, 500_000_000},
 		{"12c-1GHz", 12, 1_000_000_000},
 	}
+	var pts []campaign.Point
 	for _, c := range configs {
 		c := c
-		b.Run(c.label, func(b *testing.B) {
-			p := benchWorkload(b, "swaptions")
-			cfg := benchConfig()
+		pts = append(pts, benchPoint(c.label, func(cfg *paradet.Config) {
 			cfg.NumCheckers = c.checkers
 			cfg.CheckerHz = c.hz
 			cfg.LogBytes = c.checkers * 3 * 1024
-			for i := 0; i < b.N; i++ {
-				slow, _, _, err := Slowdown(cfg, p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if i == 0 {
-					b.ReportMetric(slow, "slowdown")
-				}
+		}))
+	}
+	spec := campaign.Spec{
+		Name:         "bench-fig13",
+		Workloads:    []string{"swaptions"},
+		Points:       pts,
+		WithBaseline: true,
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			for j := range out.Results {
+				r := &out.Results[j]
+				b.ReportMetric(r.Slowdown, "slowdown/"+r.Point.Label)
 			}
-		})
+		}
 	}
 }
 
 // BenchmarkSec6B_Area and BenchmarkSec6C_Power regenerate the analytic
 // overhead numbers (paper: ~24% area, ~16% with L2, ~16% power).
 func BenchmarkSec6B_Area(b *testing.B) {
-	cfg := DefaultConfig()
-	var r AreaPowerReport
+	cfg := paradet.DefaultConfig()
+	var r paradet.AreaPowerReport
 	for i := 0; i < b.N; i++ {
-		r = AreaPower(cfg)
+		r = paradet.AreaPower(cfg)
 	}
 	b.ReportMetric(r.AreaOverhead*100, "areaPct")
 	b.ReportMetric(r.AreaOverheadWithL2*100, "areaPctWithL2")
 }
 
 func BenchmarkSec6C_Power(b *testing.B) {
-	cfg := DefaultConfig()
-	var r AreaPowerReport
+	cfg := paradet.DefaultConfig()
+	var r paradet.AreaPowerReport
 	for i := 0; i < b.N; i++ {
-		r = AreaPower(cfg)
+		r = paradet.AreaPower(cfg)
 	}
 	b.ReportMetric(r.PowerOverhead*100, "powerPct")
 }
 
+// benchFaultKernel mirrors the store-chain kernel of the fault tests:
+// nearly every value feeds stores, so single-bit corruption is
+// architecturally visible.
+const benchFaultKernel = `
+	.equ N, 120
+_start:
+	la   x1, buf
+	movz x2, 1          ; i
+	movz x3, 7          ; acc
+loop:
+	mul  x3, x3, x2
+	addi x3, x3, 13
+	xor  x3, x3, x2
+	strd x3, [x1]
+	addi x1, x1, 8
+	addi x2, x2, 1
+	slti x4, x2, N
+	bne  x4, xzr, loop
+	mov  x0, x3
+	svc
+	hlt
+	.align 8
+buf: .space 1024
+`
+
 // BenchmarkFaultCampaign measures end-to-end fault-injection throughput
 // (not a paper figure, but the coverage claim behind §IV).
 func BenchmarkFaultCampaign(b *testing.B) {
-	p := MustAssemble(faultKernel)
-	cfg := faultConfig()
+	p := paradet.MustAssemble(benchFaultKernel)
+	cfg := paradet.DefaultConfig()
+	cfg.NumCheckers = 4
+	cfg.LogBytes = 4 * 4 * 1024
+	cfg.MaxInstrs = 60_000
 	for i := 0; i < b.N; i++ {
-		camp, err := RunCampaign(cfg, p, 5, int64(i))
+		camp, err := paradet.RunCampaign(cfg, p, 5, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
-		if camp.Counts[OutcomeSilent] > 0 {
+		if camp.Counts[paradet.OutcomeSilent] > 0 {
 			b.Fatal("silent corruption inside the sphere")
 		}
 	}
@@ -328,7 +411,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
-		res, err := Run(cfg, p)
+		res, err := paradet.Run(cfg, p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -337,27 +420,53 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
+// BenchmarkCampaignScaling measures the sweep engine's parallel speedup
+// on a fixed 9-workload grid (near-linear on multi-core hosts).
+func BenchmarkCampaignScaling(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			spec := campaign.Spec{
+				Name:      "bench-scaling",
+				Workloads: allWorkloads(),
+				Points: []campaign.Point{benchPoint("tableI", func(c *paradet.Config) {
+					c.MaxInstrs = 20_000
+				})},
+				WithBaseline: true,
+				Parallel:     workers,
+			}
+			for i := 0; i < b.N; i++ {
+				benchSweep(b, spec)
+			}
+		})
+	}
+}
+
 // ---- Ablations (design-choice sensitivity, DESIGN.md §4) ----
 
 // BenchmarkAblation_CheckpointCost sweeps the register-checkpoint commit
 // pause, the design parameter behind the paper's 16-cycle assumption.
 func BenchmarkAblation_CheckpointCost(b *testing.B) {
+	var pts []campaign.Point
 	for _, cycles := range []int64{0, 16, 64} {
 		cycles := cycles
-		b.Run(fmt.Sprintf("%dcyc", cycles), func(b *testing.B) {
-			p := benchWorkload(b, "bodytrack")
-			cfg := benchConfig()
-			cfg.CheckpointCycles = cycles
-			for i := 0; i < b.N; i++ {
-				slow, _, _, err := Slowdown(cfg, p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if i == 0 {
-					b.ReportMetric(slow, "slowdown")
-				}
+		pts = append(pts, benchPoint(fmt.Sprintf("%dcyc", cycles),
+			func(c *paradet.Config) { c.CheckpointCycles = cycles }))
+	}
+	spec := campaign.Spec{
+		Name:         "bench-ablate-ckpt",
+		Workloads:    []string{"bodytrack"},
+		Points:       pts,
+		WithBaseline: true,
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			for j := range out.Results {
+				r := &out.Results[j]
+				b.ReportMetric(r.Slowdown, "slowdown/"+r.Point.Label)
 			}
-		})
+		}
 	}
 }
 
@@ -365,48 +474,56 @@ func BenchmarkAblation_CheckpointCost(b *testing.B) {
 // two-phase bitcount kernel (the paper's §VI-A example of timeouts
 // rescuing worst-case latency on store-free instruction runs).
 func BenchmarkAblation_Timeout(b *testing.B) {
-	for _, timeout := range []uint64{1000, 5000, NoTimeout} {
+	var pts []campaign.Point
+	for _, timeout := range []uint64{1000, 5000, paradet.NoTimeout} {
 		timeout := timeout
 		label := fmt.Sprintf("%d", timeout)
-		if timeout == NoTimeout {
+		if timeout == paradet.NoTimeout {
 			label = "inf"
 		}
-		b.Run(label, func(b *testing.B) {
-			p := benchWorkload(b, "bitcount")
-			cfg := benchConfig()
-			cfg.MaxInstrs = 120_000
-			cfg.TimeoutInstrs = timeout
-			for i := 0; i < b.N; i++ {
-				res, err := Run(cfg, p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if i == 0 {
-					b.ReportMetric(res.Delay.MaxNS, "maxDelayNs")
-				}
+		pts = append(pts, benchPoint(label, func(c *paradet.Config) {
+			c.MaxInstrs = 120_000
+			c.TimeoutInstrs = timeout
+		}))
+	}
+	spec := campaign.Spec{
+		Name:      "bench-ablate-timeout",
+		Workloads: []string{"bitcount"},
+		Points:    pts,
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			for j := range out.Results {
+				r := &out.Results[j]
+				b.ReportMetric(r.Res.Delay.MaxNS, "maxDelayNs/"+r.Point.Label)
 			}
-		})
+		}
 	}
 }
 
 // BenchmarkAblation_InterruptRate measures the cost of interrupt-boundary
 // checkpoints (§IV-G): even a 10 us tick is negligible.
 func BenchmarkAblation_InterruptRate(b *testing.B) {
+	var pts []campaign.Point
 	for _, ns := range []uint64{0, 100_000, 10_000} {
 		ns := ns
-		b.Run(fmt.Sprintf("%dns", ns), func(b *testing.B) {
-			p := benchWorkload(b, "stream")
-			cfg := benchConfig()
-			cfg.InterruptIntervalNS = ns
-			for i := 0; i < b.N; i++ {
-				slow, _, _, err := Slowdown(cfg, p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if i == 0 {
-					b.ReportMetric(slow, "slowdown")
-				}
+		pts = append(pts, benchPoint(fmt.Sprintf("%dns", ns),
+			func(c *paradet.Config) { c.InterruptIntervalNS = ns }))
+	}
+	spec := campaign.Spec{
+		Name:         "bench-ablate-irq",
+		Workloads:    []string{"stream"},
+		Points:       pts,
+		WithBaseline: true,
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			for j := range out.Results {
+				r := &out.Results[j]
+				b.ReportMetric(r.Slowdown, "slowdown/"+r.Point.Label)
 			}
-		})
+		}
 	}
 }

@@ -1,0 +1,316 @@
+package paradet
+
+import (
+	"fmt"
+
+	"paradet/internal/branch"
+	detect "paradet/internal/core"
+	"paradet/internal/inorder"
+	"paradet/internal/mem"
+	"paradet/internal/ooo"
+	"paradet/internal/sim"
+	"paradet/internal/trace"
+)
+
+// SystemBuilder assembles a simulated system from composable steps:
+// memory hierarchy, functional oracle, detection hardware, checker
+// cluster and main core. It replaces the old monolithic runSystem so
+// higher layers (the campaign sweep engine, future multi-core
+// topologies) can construct systems piecewise instead of going through
+// a single entry point.
+//
+//	res, err := paradet.NewSystemBuilder(cfg, prog).Protected(false).Run()
+type SystemBuilder struct {
+	cfg       Config
+	prog      *Program
+	protected bool
+	fp        *faultPlan
+	faults    []Fault
+}
+
+// NewSystemBuilder starts a builder for the protected system (main core
+// plus parallel error detection). Use Protected(false) for the bare
+// main core.
+func NewSystemBuilder(cfg Config, p *Program) *SystemBuilder {
+	return &SystemBuilder{cfg: cfg, prog: p, protected: true}
+}
+
+// Protected selects between the protected system and the bare main
+// core used as the paper's normalisation baseline.
+func (b *SystemBuilder) Protected(on bool) *SystemBuilder {
+	b.protected = on
+	return b
+}
+
+// WithFaults schedules fault injections for the run (see Fault).
+func (b *SystemBuilder) WithFaults(faults ...Fault) *SystemBuilder {
+	b.faults = append(b.faults, faults...)
+	return b
+}
+
+// withPlan installs a pre-built fault plan (internal injector path).
+func (b *SystemBuilder) withPlan(fp *faultPlan) *SystemBuilder {
+	b.fp = fp
+	return b
+}
+
+// Build validates the configuration and assembles the system. The
+// returned System is single-use: Run executes it to completion.
+func (b *SystemBuilder) Build() (*System, error) {
+	if err := b.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if b.prog == nil || b.prog.prog == nil {
+		return nil, fmt.Errorf("paradet: nil program")
+	}
+	fp := b.fp
+	if fp == nil && len(b.faults) > 0 {
+		var err error
+		if fp, err = planFaults(b.faults); err != nil {
+			return nil, err
+		}
+	}
+	s := &System{cfg: b.cfg, prog: b.prog, protected: b.protected, fp: fp}
+	s.buildCores()
+	s.buildMemoryHierarchy()
+	s.buildOracle()
+	if s.protected {
+		s.buildDetector()
+		s.buildCheckerCluster()
+	}
+	s.buildMainCore()
+	return s, nil
+}
+
+// Run is Build followed by System.Run.
+func (b *SystemBuilder) Run() (*Result, error) {
+	s, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// mainMemory is the Table I memory system of one main core. It is a
+// reusable construction step: the protected system, the bare baseline
+// core and the lockstep/RMT baselines all build the same hierarchy.
+type mainMemory struct {
+	dram *mem.DRAM
+	l2   *mem.Cache
+	l1i  *mem.Cache
+	l1d  *mem.Cache
+}
+
+func newMainMemory(mainClk sim.Clock) *mainMemory {
+	dram := mem.NewDDR3()
+	l2 := mem.NewCache(mem.CacheConfig{
+		Name: "L2", SizeBytes: 1 << 20, Ways: 16, LineBytes: 64,
+		HitLat: mainClk.Duration(12), MSHRs: 16, Prefetch: true,
+	}, dram)
+	l1i := mem.NewCache(mem.CacheConfig{
+		Name: "L1I", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64,
+		HitLat: mainClk.Duration(2), MSHRs: 6,
+	}, l2)
+	l1d := mem.NewCache(mem.CacheConfig{
+		Name: "L1D", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64,
+		HitLat: mainClk.Duration(2), MSHRs: 6,
+	}, l2)
+	return &mainMemory{dram: dram, l2: l2, l1i: l1i, l1d: l1d}
+}
+
+// System is one fully assembled simulation, produced by SystemBuilder.
+// Run drives it to completion and reports the Result.
+type System struct {
+	cfg       Config
+	prog      *Program
+	protected bool
+	fp        *faultPlan
+
+	eng      *sim.Engine
+	mainClk  sim.Clock
+	chkClk   sim.Clock
+	ocfg     ooo.Config
+	memory   *mainMemory
+	img      *mem.Sparse
+	oracle   *trace.Oracle
+	det      *detect.Detector
+	checkers []*inorder.Checker
+	mainCore *ooo.Core
+	ran      bool
+}
+
+// buildCores resolves the main-core microarchitecture (Table I or the
+// aggressive §VI-D big core) and creates the clocks and event engine.
+func (s *System) buildCores() {
+	s.ocfg = ooo.NewTableIConfig()
+	if s.cfg.BigCore {
+		s.ocfg = ooo.NewBigCoreConfig()
+		s.cfg.MainCoreHz = s.ocfg.Clock.Hz()
+	}
+	s.mainClk = sim.NewClock(s.cfg.MainCoreHz)
+	s.chkClk = sim.NewClock(s.cfg.CheckerHz)
+	s.eng = sim.NewEngine()
+}
+
+// buildMemoryHierarchy assembles the Table I caches and DRAM.
+func (s *System) buildMemoryHierarchy() {
+	s.memory = newMainMemory(s.mainClk)
+}
+
+// buildOracle creates the functional model that feeds the out-of-order
+// core's trace-driven pipeline, applying any main-core fault hook.
+func (s *System) buildOracle() {
+	s.img = mem.NewSparse()
+	s.oracle = trace.NewOracle(s.prog.prog, s.img, s.cfg.MaxInstrs)
+	if s.fp != nil && s.fp.main != nil {
+		s.oracle.M.Hooks.PostExec = s.fp.main
+	}
+}
+
+// buildDetector creates the load-store log, checkpoint and segment
+// machinery of §IV.
+func (s *System) buildDetector() {
+	dcfg := detect.Config{
+		NumSegments:       s.cfg.NumCheckers,
+		LogBytes:          s.cfg.LogBytes,
+		EntryBytes:        s.cfg.EntryBytes,
+		TimeoutInstrs:     s.cfg.TimeoutInstrs,
+		CheckpointCycles:  s.cfg.CheckpointCycles,
+		MainClock:         s.mainClk,
+		InterruptInterval: sim.Time(s.cfg.InterruptIntervalNS) * sim.Nanosecond,
+		DelayHistBinNS:    50,
+		DelayHistBins:     100,
+	}
+	s.det = detect.New(dcfg, s.prog.prog, trace.InitialRegs(s.prog.prog))
+	if s.fp != nil && s.fp.main != nil {
+		s.det.RetireHooks().PostExec = s.fp.main
+	}
+}
+
+// buildCheckerCluster attaches the checker-core pool to the detector:
+// either the paper's in-order cores behind the shared instruction-cache
+// cluster of Fig. 4, or instant null checkers when DisableCheckers
+// isolates checkpoint/log overhead (Fig. 10).
+func (s *System) buildCheckerCluster() {
+	pool := make([]detect.Checker, s.cfg.NumCheckers)
+	if s.cfg.DisableCheckers {
+		for i := range pool {
+			pool[i] = &nullChecker{sink: s.det}
+		}
+	} else {
+		// A tiny private L0 per core in front of an L1I shared by all
+		// checkers, which connects to the main core's L2.
+		sharedL1I := mem.NewCache(mem.CacheConfig{
+			Name: "cL1I", SizeBytes: 16 << 10, Ways: 4, LineBytes: 64,
+			HitLat: s.chkClk.Duration(2), MSHRs: 4,
+		}, s.memory.l2)
+		ccfg := inorder.DefaultConfig(s.chkClk)
+		for i := range pool {
+			l0 := mem.NewCache(mem.CacheConfig{
+				Name: fmt.Sprintf("cL0.%d", i), SizeBytes: 2 << 10,
+				Ways: 2, LineBytes: 64, HitLat: 0, MSHRs: 1,
+			}, sharedL1I)
+			ck := inorder.New(i, ccfg, s.prog.prog, l0, s.det, s.eng)
+			if s.fp != nil && s.fp.checker != nil {
+				if h := s.fp.checker(i); h != nil {
+					ck.Hooks().PostExec = h
+				}
+			}
+			s.checkers = append(s.checkers, ck)
+			pool[i] = ck
+		}
+	}
+	s.det.AttachCheckers(pool)
+}
+
+// buildMainCore creates the out-of-order main core, gated on the
+// detector's commit interface when protection is enabled.
+func (s *System) buildMainCore() {
+	var gate ooo.CommitGate
+	if s.det != nil {
+		gate = s.det
+	}
+	s.ocfg.Clock = s.mainClk
+	bp := branch.New(branch.Config{})
+	s.mainCore = ooo.New(s.ocfg, s.oracle, s.memory.l1i, s.memory.l1d, bp, gate)
+	s.eng.Add(s.mainCore, 0)
+}
+
+// Run executes the system to completion: the main core drains, then
+// §IV-H holds back termination until every outstanding segment is
+// checked. A System is single-use.
+func (s *System) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("paradet: system already run (build a new one)")
+	}
+	s.ran = true
+
+	s.eng.Run(sim.MaxTime - 1)
+	if !s.mainCore.Done() {
+		return nil, fmt.Errorf("paradet: main core failed to drain (deadlock)")
+	}
+	finish := s.eng.Now()
+	if s.protected {
+		s.det.Finish(finish)
+		s.eng.Run(sim.MaxTime - 1)
+		if !s.det.AllChecked() {
+			return nil, fmt.Errorf("paradet: checks did not complete after program end")
+		}
+	}
+	return s.assembleResult(s.eng.Now()), nil
+}
+
+// assembleResult collects statistics from every component into the
+// public Result.
+func (s *System) assembleResult(wall sim.Time) *Result {
+	cs := s.mainCore.Stats()
+	res := &Result{
+		Workload:     s.prog.name,
+		Protected:    s.protected,
+		Cycles:       cs.Cycles,
+		Instructions: cs.Instructions,
+		IPC:          cs.IPC(),
+		TimeNS:       cs.FinishTime.Nanoseconds(),
+		Loads:        cs.Loads,
+		Stores:       cs.Stores,
+		Branches:     cs.Branches,
+		Mispredicts:  cs.Mispredicts,
+		Output:       s.oracle.Env.Output,
+		finalMem:     s.img,
+	}
+	if s.oracle.Err != nil {
+		res.ProgFault = s.oracle.Err.Error()
+	}
+	if !s.protected {
+		return res
+	}
+	ds := s.det.Stats()
+	res.Delay, res.DelayDensity = delaySummary(s.det.Delay)
+	res.Checkpoints = ds.Checkpoints
+	res.SealsByReason = map[string]uint64{
+		"capacity":  ds.SealsByReason[detect.SealCapacity],
+		"timeout":   ds.SealsByReason[detect.SealTimeout],
+		"interrupt": ds.SealsByReason[detect.SealInterrupt],
+		"finish":    ds.SealsByReason[detect.SealFinish],
+	}
+	res.SegmentsChecked = ds.SegmentsChecked
+	res.EntriesLogged = ds.EntriesLogged
+	res.LogFullStallCycles = cs.LogFullStallCycles
+	res.CheckpointStallNS = cs.CheckpointStall.Nanoseconds()
+	res.LFUPeak = ds.LFUPeak
+	if fe := s.det.FirstError(); fe != nil {
+		info := errorInfo(fe)
+		res.FirstError = &info
+	}
+	for _, e := range s.det.Errors() {
+		res.AllErrors = append(res.AllErrors, errorInfo(e))
+	}
+	for _, ck := range s.checkers {
+		util := 0.0
+		if wall > 0 {
+			util = float64(ck.Stats().BusyTime) / float64(wall)
+		}
+		res.CheckerUtilization = append(res.CheckerUtilization, util)
+	}
+	return res
+}

@@ -1,6 +1,7 @@
 // Command experiments regenerates the paper's evaluation tables and
-// figures (DSN 2018, Ainsworth & Jones). Each figure is printed as a text
-// table with the paper's headline expectation quoted above it.
+// figures (DSN 2018, Ainsworth & Jones). Each figure is a declarative
+// campaign spec executed by the parallel sweep engine; the text tables
+// quote the paper's headline expectation above each figure.
 //
 // Usage:
 //
@@ -8,9 +9,15 @@
 //	experiments -run fig9       # one experiment
 //	experiments -instrs 40000   # faster, smaller samples
 //	experiments -workloads stream,randacc
+//	experiments -parallel 4     # bound the sweep worker pool
+//	experiments -run fig7 -json # machine-readable rows on stdout
+//
+// Output on stdout is deterministic: -parallel N produces bytes
+// identical to -parallel 1 (timing notes go to stderr).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +32,11 @@ func main() {
 		strings.Join(experiments.Names(), ", "))
 	instrs := flag.Uint64("instrs", 0, "committed-instruction sample per run (0 = workload default)")
 	wl := flag.String("workloads", "", "comma-separated workload subset (default: all nine)")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit structured JSON rows instead of text tables")
 	flag.Parse()
 
-	opts := experiments.Options{MaxInstrs: *instrs}
+	opts := experiments.Options{MaxInstrs: *instrs, Parallel: *parallel}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
 	}
@@ -36,14 +45,29 @@ func main() {
 	if *run != "all" {
 		names = []string{*run}
 	}
+
+	var figures []*experiments.Figure
 	for _, name := range names {
 		start := time.Now()
-		out, err := experiments.RunByName(name, opts)
+		fig, err := experiments.Generate(name, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
-		fmt.Printf("  [%s took %.1fs]\n\n", name, time.Since(start).Seconds())
+		if *jsonOut {
+			figures = append(figures, fig)
+		} else {
+			fmt.Println(fig.Text)
+		}
+		fmt.Fprintf(os.Stderr, "  [%s took %.1fs]\n", name, time.Since(start).Seconds())
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(figures); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: encode: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

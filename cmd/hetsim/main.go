@@ -154,6 +154,9 @@ func parseFault(spec string) (paradet.Fault, error) {
 	if err != nil {
 		return paradet.Fault{}, fmt.Errorf("fault bit: %w", err)
 	}
+	if bit > 63 {
+		return paradet.Fault{}, fmt.Errorf("fault bit %d out of range (values are 64-bit; want 0-63)", bit)
+	}
 	f := paradet.Fault{Target: paradet.FaultTarget(parts[0]), Seq: seq, Bit: uint8(bit)}
 	if len(parts) > 3 && parts[3] == "sticky" {
 		f.Sticky = true

@@ -57,9 +57,9 @@ func (f Fault) internal() fault.Fault {
 	}
 }
 
-// RunWithFaults simulates the protected system with the given faults
-// injected.
-func RunWithFaults(cfg Config, p *Program, faults []Fault) (*Result, error) {
+// planFaults validates the fault list and compiles it into the hook
+// plan the SystemBuilder installs on the oracle, detector and checkers.
+func planFaults(faults []Fault) (*faultPlan, error) {
 	inj := &fault.Injector{}
 	for _, f := range faults {
 		if _, ok := targetByName[f.Target]; !ok {
@@ -70,8 +70,17 @@ func RunWithFaults(cfg Config, p *Program, faults []Fault) (*Result, error) {
 		}
 		inj.Faults = append(inj.Faults, f.internal())
 	}
-	fp := &faultPlan{main: inj.MainHook(), checker: inj.CheckerHook}
-	return runSystem(cfg, p, true, fp)
+	return &faultPlan{main: inj.MainHook(), checker: inj.CheckerHook}, nil
+}
+
+// RunWithFaults simulates the protected system with the given faults
+// injected.
+func RunWithFaults(cfg Config, p *Program, faults []Fault) (*Result, error) {
+	fp, err := planFaults(faults)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystemBuilder(cfg, p).withPlan(fp).Run()
 }
 
 // Outcome classifies one fault-injection run.

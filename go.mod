@@ -1,0 +1,3 @@
+module paradet
+
+go 1.24

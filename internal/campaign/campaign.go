@@ -1,0 +1,214 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"paradet"
+)
+
+// Outcome is a completed campaign: one Run per (workload, point) cell,
+// in spec order (workload-major), independent of worker scheduling.
+type Outcome struct {
+	Spec    Spec
+	Results []Run
+	// BaselineSims counts distinct baseline simulations actually
+	// performed (cache misses); with memoisation this is the number of
+	// unique (workload, MaxInstrs, BigCore) keys, not the run count.
+	BaselineSims int
+}
+
+// Err joins every per-run error (nil if the whole sweep succeeded).
+func (o *Outcome) Err() error {
+	var errs []error
+	for i := range o.Results {
+		r := &o.Results[i]
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s %s/%s: %w", o.Spec.Name, r.Workload, r.Point.Label, r.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// baseKey identifies one memoisable unprotected-baseline simulation.
+// An unprotected run depends only on the program, the sample length and
+// the main-core microarchitecture; checker-side knobs are irrelevant,
+// so sweep points share one baseline. BigCore overrides MainCoreHz, so
+// the clock is normalised to zero when it is set.
+type baseKey struct {
+	workload  string
+	maxInstrs uint64
+	bigCore   bool
+	mainHz    uint64
+}
+
+type baseEntry struct {
+	once sync.Once
+	res  *paradet.Result
+	err  error
+}
+
+// baselineCache memoises unprotected runs so each unique baseline
+// simulates exactly once per campaign, whichever worker gets there
+// first; concurrent requesters block on the same entry.
+type baselineCache struct {
+	sim     Simulator
+	mu      sync.Mutex
+	entries map[baseKey]*baseEntry
+	sims    atomic.Int64
+}
+
+func newBaselineCache(sim Simulator) *baselineCache {
+	return &baselineCache{sim: sim, entries: make(map[baseKey]*baseEntry)}
+}
+
+func (c *baselineCache) get(cfg paradet.Config, workload string, p *paradet.Program) (*paradet.Result, error) {
+	key := baseKey{workload: workload, maxInstrs: cfg.MaxInstrs, bigCore: cfg.BigCore, mainHz: cfg.MainCoreHz}
+	if key.bigCore {
+		key.mainHz = 0 // BigCore ignores MainCoreHz
+	}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &baseEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.sims.Add(1)
+		e.res, e.err = c.sim.RunUnprotected(cfg, p)
+		if e.err == nil && e.res.TimeNS == 0 {
+			e.err = fmt.Errorf("zero-length baseline run")
+		}
+	})
+	return e.res, e.err
+}
+
+// Execute runs the campaign. It returns an error only for spec-level
+// problems (empty spec, unknown scheme); individual run failures land
+// on their Run and in Outcome.Err.
+func Execute(spec Spec, sim Simulator) (*Outcome, error) {
+	if sim == nil {
+		sim = Default()
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+
+	// Load every workload once, up front and in spec order; runs share
+	// the assembled (read-only) program.
+	type loaded struct {
+		prog *paradet.Program
+		info paradet.WorkloadInfo
+		err  error
+	}
+	progs := make(map[string]loaded, len(spec.Workloads))
+	for _, name := range spec.Workloads {
+		if _, ok := progs[name]; ok {
+			continue
+		}
+		p, info, err := sim.Load(name)
+		progs[name] = loaded{prog: p, info: info, err: err}
+	}
+
+	// Expand the grid workload-major so Results[i*len(Points)+j] is
+	// (Workloads[i], Points[j]).
+	out := &Outcome{Spec: spec, Results: make([]Run, len(spec.Workloads)*len(spec.Points))}
+	for i, name := range spec.Workloads {
+		for j, pt := range spec.Points {
+			r := &out.Results[i*len(spec.Points)+j]
+			r.Workload = name
+			r.Point = pt
+			r.Scheme = spec.scheme(pt)
+			l := progs[name]
+			r.Config = resolveConfig(pt.Config, spec.MaxInstrs, l.info)
+		}
+	}
+
+	cache := newBaselineCache(sim)
+	forEach(spec.Parallel, len(out.Results), func(i int) {
+		r := &out.Results[i]
+		l := progs[r.Workload]
+		if l.err != nil {
+			r.Err = fmt.Errorf("load workload: %w", l.err)
+			return
+		}
+		executeRun(r, l.prog, sim, cache, spec.WithBaseline)
+	})
+	out.BaselineSims = int(cache.sims.Load())
+	return out, nil
+}
+
+// resolveConfig fills the committed-instruction sample: point config,
+// then spec override, then the workload default.
+func resolveConfig(cfg paradet.Config, specInstrs uint64, info paradet.WorkloadInfo) paradet.Config {
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = specInstrs
+	}
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = info.DefaultMaxInstrs
+	}
+	return cfg
+}
+
+// executeRun simulates one cell and, when requested, its shared
+// baseline and slowdown.
+func executeRun(r *Run, prog *paradet.Program, sim Simulator, cache *baselineCache, withBaseline bool) {
+	switch r.Scheme {
+	case SchemeProtected:
+		r.Res, r.Err = sim.Run(r.Config, prog)
+	case SchemeUnprotected:
+		r.Res, r.Err = sim.RunUnprotected(r.Config, prog)
+	case SchemeLockstep:
+		r.Aux, r.Err = sim.RunLockstep(r.Config, prog)
+	case SchemeRMT:
+		r.Aux, r.Err = sim.RunRMT(r.Config, prog)
+	}
+	if r.Err != nil || !withBaseline {
+		return
+	}
+	base, err := cache.get(r.Config, r.Workload, prog)
+	if err != nil {
+		r.Err = fmt.Errorf("baseline: %w", err)
+		return
+	}
+	r.Baseline = base
+	r.Slowdown = r.TimeNS() / base.TimeNS
+}
+
+// forEach fans indices [0, total) out across a bounded worker pool.
+// Each index is processed exactly once; callers write results into
+// per-index slots, so output order never depends on scheduling.
+func forEach(workers, total int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for i := 0; i < total; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

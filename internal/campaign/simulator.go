@@ -1,0 +1,45 @@
+package campaign
+
+import "paradet"
+
+// Simulator abstracts the simulation entry points the campaign engine
+// drives. The default implementation forwards to the paradet package;
+// tests substitute wrappers to count or fake runs.
+type Simulator interface {
+	// Load assembles a named workload.
+	Load(name string) (*paradet.Program, paradet.WorkloadInfo, error)
+	// Run simulates the protected system.
+	Run(cfg paradet.Config, p *paradet.Program) (*paradet.Result, error)
+	// RunUnprotected simulates the bare main core (the normalisation
+	// baseline the engine memoises).
+	RunUnprotected(cfg paradet.Config, p *paradet.Program) (*paradet.Result, error)
+	// RunLockstep simulates the dual-core lockstep baseline.
+	RunLockstep(cfg paradet.Config, p *paradet.Program) (*paradet.BaselineResult, error)
+	// RunRMT simulates the redundant-multithreading baseline.
+	RunRMT(cfg paradet.Config, p *paradet.Program) (*paradet.BaselineResult, error)
+}
+
+// Default returns the Simulator backed by the real paradet simulator.
+func Default() Simulator { return defaultSim{} }
+
+type defaultSim struct{}
+
+func (defaultSim) Load(name string) (*paradet.Program, paradet.WorkloadInfo, error) {
+	return paradet.LoadWorkload(name)
+}
+
+func (defaultSim) Run(cfg paradet.Config, p *paradet.Program) (*paradet.Result, error) {
+	return paradet.NewSystemBuilder(cfg, p).Run()
+}
+
+func (defaultSim) RunUnprotected(cfg paradet.Config, p *paradet.Program) (*paradet.Result, error) {
+	return paradet.NewSystemBuilder(cfg, p).Protected(false).Run()
+}
+
+func (defaultSim) RunLockstep(cfg paradet.Config, p *paradet.Program) (*paradet.BaselineResult, error) {
+	return paradet.RunLockstep(cfg, p, nil)
+}
+
+func (defaultSim) RunRMT(cfg paradet.Config, p *paradet.Program) (*paradet.BaselineResult, error) {
+	return paradet.RunRMT(cfg, p)
+}

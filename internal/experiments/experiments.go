@@ -1,8 +1,10 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§VI). Each FigNN function sweeps the same parameters as the
-// paper and returns structured rows; Render helpers print them as text
-// tables. The cmd/experiments binary and the repository's bench harness
-// are thin wrappers over this package.
+// evaluation (§VI). Each FigNN function declares its sweep as a
+// campaign spec — workloads × config points × scheme — and executes it
+// through internal/campaign's parallel sweep engine, which fans runs
+// across a worker pool and memoises the unprotected baselines. Render
+// helpers print the rows as text tables. The cmd/experiments binary and
+// the repository's bench harness are thin wrappers over this package.
 package experiments
 
 import (
@@ -11,6 +13,7 @@ import (
 	"strings"
 
 	"paradet"
+	"paradet/internal/campaign"
 )
 
 // Options scales the experiments. The paper simulates full benchmarks in
@@ -20,6 +23,8 @@ type Options struct {
 	MaxInstrs uint64
 	// Workloads to sweep; nil selects the paper's nine.
 	Workloads []string
+	// Parallel bounds the sweep worker pool (0 = GOMAXPROCS).
+	Parallel int
 }
 
 func (o Options) workloads() []string {
@@ -33,25 +38,41 @@ func (o Options) workloads() []string {
 	return names
 }
 
-func (o Options) instrs(def uint64) uint64 {
-	if o.MaxInstrs > 0 {
-		return o.MaxInstrs
+// spec lifts the options into a campaign over the given points.
+func (o Options) spec(name string, points []campaign.Point, withBaseline bool) campaign.Spec {
+	return campaign.Spec{
+		Name:         name,
+		Workloads:    o.workloads(),
+		Points:       points,
+		MaxInstrs:    o.MaxInstrs,
+		WithBaseline: withBaseline,
+		Parallel:     o.Parallel,
 	}
-	return def
 }
 
-func loadAll(o Options) (map[string]*paradet.Program, map[string]paradet.WorkloadInfo, error) {
-	progs := make(map[string]*paradet.Program)
-	infos := make(map[string]paradet.WorkloadInfo)
-	for _, name := range o.workloads() {
-		p, info, err := paradet.LoadWorkload(name)
-		if err != nil {
-			return nil, nil, err
-		}
-		progs[name] = p
-		infos[name] = info
+// sweep executes a spec and surfaces the first per-run failure, keeping
+// the historical "figN workload: cause" error shape.
+func sweep(spec campaign.Spec) ([]campaign.Run, error) {
+	out, err := campaign.Execute(spec, nil)
+	if err != nil {
+		return nil, err
 	}
-	return progs, infos, nil
+	for i := range out.Results {
+		r := &out.Results[i]
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s %s %s: %w", spec.Name, r.Workload, r.Point.Label, r.Err)
+		}
+	}
+	return out.Results, nil
+}
+
+// point wraps a config tweak into a single campaign point.
+func point(label string, mutate func(*paradet.Config)) campaign.Point {
+	cfg := paradet.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return campaign.Point{Label: label, Config: cfg}
 }
 
 // ---- Fig. 7: normalised slowdown at default settings ----
@@ -65,19 +86,13 @@ type Fig7Row struct {
 // Fig7 reproduces "Normalised slowdown for each benchmark, at standard
 // settings". Paper result: mean 1.75%, max 3.4%.
 func Fig7(o Options) ([]Fig7Row, error) {
-	progs, infos, err := loadAll(o)
+	runs, err := sweep(o.spec("fig7", []campaign.Point{point("tableI", nil)}, true))
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig7Row
-	for _, name := range o.workloads() {
-		cfg := paradet.DefaultConfig()
-		cfg.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
-		slow, _, _, err := paradet.Slowdown(cfg, progs[name])
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", name, err)
-		}
-		rows = append(rows, Fig7Row{Workload: name, Slowdown: slow})
+	rows := make([]Fig7Row, 0, len(runs))
+	for i := range runs {
+		rows = append(rows, Fig7Row{Workload: runs[i].Workload, Slowdown: runs[i].Slowdown})
 	}
 	return rows, nil
 }
@@ -114,20 +129,15 @@ type Fig8Row struct {
 // plot. Paper: near-normal distributions, mean across benchmarks 770 ns,
 // 99.9% of loads and stores within 5000 ns, max ~21.5 us average.
 func Fig8(o Options) ([]Fig8Row, error) {
-	progs, infos, err := loadAll(o)
+	runs, err := sweep(o.spec("fig8", []campaign.Point{point("tableI", nil)}, false))
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig8Row
-	for _, name := range o.workloads() {
-		cfg := paradet.DefaultConfig()
-		cfg.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
-		res, err := paradet.Run(cfg, progs[name])
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s: %w", name, err)
-		}
+	rows := make([]Fig8Row, 0, len(runs))
+	for i := range runs {
+		res := runs[i].Res
 		rows = append(rows, Fig8Row{
-			Workload:     name,
+			Workload:     runs[i].Workload,
 			MeanNS:       res.Delay.MeanNS,
 			MaxNS:        res.Delay.MaxNS,
 			FracBelow5us: res.Delay.FracBelow5us,
@@ -169,39 +179,36 @@ type FreqRow struct {
 	MaxNS    float64
 }
 
+// freqPoints builds one campaign point per swept checker clock.
+func freqPoints() []campaign.Point {
+	pts := make([]campaign.Point, 0, len(CheckerFreqsHz))
+	for _, hz := range CheckerFreqsHz {
+		hz := hz
+		pts = append(pts, point(freqLabel(hz), func(c *paradet.Config) { c.CheckerHz = hz }))
+	}
+	return pts
+}
+
 // Fig9And11 sweeps checker frequency, producing both Fig. 9 (slowdown)
 // and Fig. 11 (mean and max detection delay) in one pass.
 // Paper: memory-bound benchmarks tolerate low clocks; compute-bound ones
 // degrade sharply below 500 MHz; mean delay halves per clock doubling
 // until the segment-fill time dominates.
 func Fig9And11(o Options) ([]FreqRow, error) {
-	progs, infos, err := loadAll(o)
+	runs, err := sweep(o.spec("fig9", freqPoints(), true))
 	if err != nil {
 		return nil, err
 	}
-	var rows []FreqRow
-	for _, name := range o.workloads() {
-		cfg0 := paradet.DefaultConfig()
-		cfg0.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
-		base, err := paradet.RunUnprotected(cfg0, progs[name])
-		if err != nil {
-			return nil, fmt.Errorf("fig9 %s baseline: %w", name, err)
-		}
-		for _, hz := range CheckerFreqsHz {
-			cfg := cfg0
-			cfg.CheckerHz = hz
-			res, err := paradet.Run(cfg, progs[name])
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s @%d: %w", name, hz, err)
-			}
-			rows = append(rows, FreqRow{
-				Workload: name,
-				FreqHz:   hz,
-				Slowdown: res.TimeNS / base.TimeNS,
-				MeanNS:   res.Delay.MeanNS,
-				MaxNS:    res.Delay.MaxNS,
-			})
-		}
+	rows := make([]FreqRow, 0, len(runs))
+	for i := range runs {
+		r := &runs[i]
+		rows = append(rows, FreqRow{
+			Workload: r.Workload,
+			FreqHz:   r.Config.CheckerHz,
+			Slowdown: r.Slowdown,
+			MeanNS:   r.Res.Delay.MeanNS,
+			MaxNS:    r.Res.Delay.MaxNS,
+		})
 	}
 	return rows, nil
 }
@@ -276,6 +283,21 @@ var LogConfigs = []LogConfig{
 	{"36KiB/inf", 36 * 1024, paradet.NoTimeout},
 }
 
+// logPoints builds campaign points from the log sweep, optionally with
+// checkers disabled (Fig. 10's checkpoint-only measurement).
+func logPoints(configs []LogConfig, disableCheckers bool) []campaign.Point {
+	pts := make([]campaign.Point, 0, len(configs))
+	for _, lc := range configs {
+		lc := lc
+		pts = append(pts, point(lc.Label, func(c *paradet.Config) {
+			c.LogBytes = lc.LogBytes
+			c.TimeoutInstrs = lc.Timeout
+			c.DisableCheckers = disableCheckers
+		}))
+	}
+	return pts
+}
+
 // LogRow is one (workload, log config) sample.
 type LogRow struct {
 	Workload string
@@ -289,32 +311,17 @@ type LogRow struct {
 // without any checker core execution" across log sizes and timeouts.
 // Paper: <=2% at the default 36 KiB, up to 15% at 3.6 KiB/500.
 func Fig10(o Options) ([]LogRow, error) {
-	progs, infos, err := loadAll(o)
+	// Fig. 10 uses the first four log configurations.
+	runs, err := sweep(o.spec("fig10", logPoints(LogConfigs[:4], true), true))
 	if err != nil {
 		return nil, err
 	}
-	var rows []LogRow
-	for _, name := range o.workloads() {
-		cfg0 := paradet.DefaultConfig()
-		cfg0.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
-		base, err := paradet.RunUnprotected(cfg0, progs[name])
-		if err != nil {
-			return nil, err
-		}
-		for _, lc := range LogConfigs[:4] { // Fig. 10 uses the first four
-			cfg := cfg0
-			cfg.LogBytes = lc.LogBytes
-			cfg.TimeoutInstrs = lc.Timeout
-			cfg.DisableCheckers = true
-			res, err := paradet.Run(cfg, progs[name])
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %s %s: %w", name, lc.Label, err)
-			}
-			rows = append(rows, LogRow{
-				Workload: name, Config: lc.Label,
-				Slowdown: res.TimeNS / base.TimeNS,
-			})
-		}
+	rows := make([]LogRow, 0, len(runs))
+	for i := range runs {
+		rows = append(rows, LogRow{
+			Workload: runs[i].Workload, Config: runs[i].Point.Label,
+			Slowdown: runs[i].Slowdown,
+		})
 	}
 	return rows, nil
 }
@@ -325,26 +332,16 @@ func Fig10(o Options) ([]LogRow, error) {
 // sparse-memory code (bitcount) suffers huge maxima (250x reduction from
 // a 50k timeout).
 func Fig12(o Options) ([]LogRow, error) {
-	progs, infos, err := loadAll(o)
+	runs, err := sweep(o.spec("fig12", logPoints(LogConfigs, false), false))
 	if err != nil {
 		return nil, err
 	}
-	var rows []LogRow
-	for _, name := range o.workloads() {
-		for _, lc := range LogConfigs {
-			cfg := paradet.DefaultConfig()
-			cfg.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
-			cfg.LogBytes = lc.LogBytes
-			cfg.TimeoutInstrs = lc.Timeout
-			res, err := paradet.Run(cfg, progs[name])
-			if err != nil {
-				return nil, fmt.Errorf("fig12 %s %s: %w", name, lc.Label, err)
-			}
-			rows = append(rows, LogRow{
-				Workload: name, Config: lc.Label,
-				MeanNS: res.Delay.MeanNS, MaxNS: res.Delay.MaxNS,
-			})
-		}
+	rows := make([]LogRow, 0, len(runs))
+	for i := range runs {
+		rows = append(rows, LogRow{
+			Workload: runs[i].Workload, Config: runs[i].Point.Label,
+			MeanNS: runs[i].Res.Delay.MeanNS, MaxNS: runs[i].Res.Delay.MaxNS,
+		})
 	}
 	return rows, nil
 }
@@ -402,47 +399,40 @@ var CoreConfigs = []CoreConfig{
 	{"12c@1GHz", 12, 1_000_000_000},
 }
 
-// CoreRow is one (workload, core config) sample.
-type CoreRow struct {
-	Workload string
-	Config   string
-	Slowdown float64
-}
-
 // Fig13 reproduces "slowdown with varying core counts at 1GHz, compared
 // with values for 12 cores at varying frequencies". The per-core log
 // share is held at 3 KiB, as in the paper (total log scales with cores).
 // Paper: N cores at M MHz ≈ 2N cores at M/2; more slower cores win
 // slightly because only n-1 checkers are ever active (§VI-A).
 func Fig13(o Options) ([]CoreRow, error) {
-	progs, infos, err := loadAll(o)
+	pts := make([]campaign.Point, 0, len(CoreConfigs))
+	for _, cc := range CoreConfigs {
+		cc := cc
+		pts = append(pts, point(cc.Label, func(c *paradet.Config) {
+			c.NumCheckers = cc.Checkers
+			c.CheckerHz = cc.FreqHz
+			c.LogBytes = cc.Checkers * 3 * 1024
+		}))
+	}
+	runs, err := sweep(o.spec("fig13", pts, true))
 	if err != nil {
 		return nil, err
 	}
-	var rows []CoreRow
-	for _, name := range o.workloads() {
-		cfg0 := paradet.DefaultConfig()
-		cfg0.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
-		base, err := paradet.RunUnprotected(cfg0, progs[name])
-		if err != nil {
-			return nil, err
-		}
-		for _, cc := range CoreConfigs {
-			cfg := cfg0
-			cfg.NumCheckers = cc.Checkers
-			cfg.CheckerHz = cc.FreqHz
-			cfg.LogBytes = cc.Checkers * 3 * 1024
-			res, err := paradet.Run(cfg, progs[name])
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s %s: %w", name, cc.Label, err)
-			}
-			rows = append(rows, CoreRow{
-				Workload: name, Config: cc.Label,
-				Slowdown: res.TimeNS / base.TimeNS,
-			})
-		}
+	rows := make([]CoreRow, 0, len(runs))
+	for i := range runs {
+		rows = append(rows, CoreRow{
+			Workload: runs[i].Workload, Config: runs[i].Point.Label,
+			Slowdown: runs[i].Slowdown,
+		})
 	}
 	return rows, nil
+}
+
+// CoreRow is one (workload, core config) sample.
+type CoreRow struct {
+	Workload string
+	Config   string
+	Slowdown float64
 }
 
 // RenderFig13 prints the core-count sweep.
@@ -493,32 +483,22 @@ type SchemeRow struct {
 
 // Fig1d reproduces the overhead-comparison table with measured
 // performance and the analytic area/power model, on one representative
-// workload. Paper: lockstep = large area+energy; RMT = large energy +
-// performance; desired (this scheme) = small everything.
+// workload: a single campaign whose points differ by scheme. Paper:
+// lockstep = large area+energy; RMT = large energy + performance;
+// desired (this scheme) = small everything.
 func Fig1d(workload string, maxInstrs uint64) ([]SchemeRow, error) {
-	p, info, err := paradet.LoadWorkload(workload)
-	if err != nil {
-		return nil, err
-	}
 	cfg := paradet.DefaultConfig()
-	if maxInstrs == 0 {
-		maxInstrs = info.DefaultMaxInstrs
-	}
-	cfg.MaxInstrs = maxInstrs
-
-	base, err := paradet.RunUnprotected(cfg, p)
-	if err != nil {
-		return nil, err
-	}
-	prot, err := paradet.Run(cfg, p)
-	if err != nil {
-		return nil, err
-	}
-	ls, err := paradet.RunLockstep(cfg, p, nil)
-	if err != nil {
-		return nil, err
-	}
-	rm, err := paradet.RunRMT(cfg, p)
+	runs, err := sweep(campaign.Spec{
+		Name:      "fig1d",
+		Workloads: []string{workload},
+		Points: []campaign.Point{
+			{Label: "lockstep", Config: cfg, Scheme: campaign.SchemeLockstep},
+			{Label: "rmt", Config: cfg, Scheme: campaign.SchemeRMT},
+			{Label: "paradet", Config: cfg, Scheme: campaign.SchemeProtected},
+		},
+		MaxInstrs:    maxInstrs,
+		WithBaseline: true,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -526,12 +506,22 @@ func Fig1d(workload string, maxInstrs uint64) ([]SchemeRow, error) {
 	ap := paradet.AreaPower(cfg)
 	apLS := paradet.AreaPowerLockstep(cfg)
 	apRMT := paradet.AreaPowerRMT(cfg, 2.0)
+	area := map[string]paradet.AreaPowerReport{
+		"lockstep": apLS, "rmt": apRMT, "paradet": ap,
+	}
 
-	return []SchemeRow{
-		{"lockstep", ls.TimeNS / base.TimeNS, apLS.AreaOverhead, apLS.PowerOverhead, ls.MeanDelayNS},
-		{"rmt", rm.TimeNS / base.TimeNS, apRMT.AreaOverhead, apRMT.PowerOverhead, rm.MeanDelayNS},
-		{"paradet", prot.TimeNS / base.TimeNS, ap.AreaOverhead, ap.PowerOverhead, prot.Delay.MeanNS},
-	}, nil
+	rows := make([]SchemeRow, 0, len(runs))
+	for i := range runs {
+		r := &runs[i]
+		rows = append(rows, SchemeRow{
+			Scheme:        r.Point.Label,
+			Slowdown:      r.Slowdown,
+			AreaOverhead:  area[r.Point.Label].AreaOverhead,
+			PowerOverhead: area[r.Point.Label].PowerOverhead,
+			MeanDelayNS:   r.MeanDelayNS(),
+		})
+	}
+	return rows, nil
 }
 
 // RenderFig1d prints the scheme comparison.
@@ -574,39 +564,29 @@ type Sec6DRow struct {
 // checker pool (18 cores here) still contains the slowdown while its
 // relative area/power overhead versus the (much larger) big core falls.
 func Sec6D(o Options) ([]Sec6DRow, error) {
-	progs, infos, err := loadAll(o)
+	pts := []campaign.Point{
+		point("tableI-3w-3.2GHz", nil),
+		point("big-6w-4GHz", func(c *paradet.Config) {
+			c.BigCore = true
+			c.NumCheckers = 18
+			c.LogBytes = 18 * 3 * 1024
+			c.CheckerHz = 1_250_000_000
+		}),
+	}
+	runs, err := sweep(o.spec("sec6d", pts, true))
 	if err != nil {
 		return nil, err
 	}
-	var rows []Sec6DRow
-	for _, name := range o.workloads() {
-		for _, big := range []bool{false, true} {
-			cfg := paradet.DefaultConfig()
-			cfg.MaxInstrs = o.instrs(infos[name].DefaultMaxInstrs)
-			core := "tableI-3w-3.2GHz"
-			if big {
-				cfg.BigCore = true
-				cfg.NumCheckers = 18
-				cfg.LogBytes = 18 * 3 * 1024
-				cfg.CheckerHz = 1_250_000_000
-				core = "big-6w-4GHz"
-			}
-			base, err := paradet.RunUnprotected(cfg, progs[name])
-			if err != nil {
-				return nil, err
-			}
-			prot, err := paradet.Run(cfg, progs[name])
-			if err != nil {
-				return nil, fmt.Errorf("sec6d %s (%s): %w", name, core, err)
-			}
-			rows = append(rows, Sec6DRow{
-				Workload:     name,
-				Core:         core,
-				BaseIPS:      float64(base.Instructions) / base.TimeNS,
-				Slowdown:     prot.TimeNS / base.TimeNS,
-				CheckerCores: cfg.NumCheckers,
-			})
-		}
+	rows := make([]Sec6DRow, 0, len(runs))
+	for i := range runs {
+		r := &runs[i]
+		rows = append(rows, Sec6DRow{
+			Workload:     r.Workload,
+			Core:         r.Point.Label,
+			BaseIPS:      float64(r.Baseline.Instructions) / r.Baseline.TimeNS,
+			Slowdown:     r.Slowdown,
+			CheckerCores: r.Config.NumCheckers,
+		})
 	}
 	return rows, nil
 }
@@ -630,66 +610,77 @@ func Names() []string {
 	return []string{"fig1d", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "area", "sec6d"}
 }
 
-// RunByName executes one named experiment and returns its rendering.
-func RunByName(name string, o Options) (string, error) {
+// Figure bundles one experiment's structured rows with its rendered
+// text table, so callers can emit either (cmd/experiments -json).
+type Figure struct {
+	Name string `json:"name"`
+	Rows any    `json:"rows"`
+	Text string `json:"-"`
+}
+
+// Generate executes one named experiment and returns both its rows and
+// rendering.
+func Generate(name string, o Options) (*Figure, error) {
 	switch name {
 	case "fig1d":
 		rows, err := Fig1d("swaptions", o.MaxInstrs)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig1d(rows, "swaptions"), nil
+		return &Figure{Name: name, Rows: rows, Text: RenderFig1d(rows, "swaptions")}, nil
 	case "fig7":
 		rows, err := Fig7(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig7(rows), nil
+		return &Figure{Name: name, Rows: rows, Text: RenderFig7(rows)}, nil
 	case "fig8":
 		rows, err := Fig8(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig8(rows), nil
+		return &Figure{Name: name, Rows: rows, Text: RenderFig8(rows)}, nil
 	case "fig9":
 		rows, err := Fig9And11(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig9(rows), nil
+		return &Figure{Name: name, Rows: rows, Text: RenderFig9(rows)}, nil
 	case "fig10":
 		rows, err := Fig10(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderLogRows(rows, "Fig. 10: checkpoint-only slowdown vs log size/timeout\n"+
+		text := RenderLogRows(rows, "Fig. 10: checkpoint-only slowdown vs log size/timeout\n"+
 			"paper: <=2% at 36KiB default, up to 15% at 3.6KiB/500",
-			func(r LogRow) float64 { return r.Slowdown }, "%14.3f"), nil
+			func(r LogRow) float64 { return r.Slowdown }, "%14.3f")
+		return &Figure{Name: name, Rows: rows, Text: text}, nil
 	case "fig11":
 		rows, err := Fig9And11(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig11(rows), nil
+		return &Figure{Name: name, Rows: rows, Text: RenderFig11(rows)}, nil
 	case "fig12":
 		rows, err := Fig12(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		out := RenderLogRows(rows, "Fig. 12(a): mean detection delay (ns) vs log size/timeout\n"+
+		text := RenderLogRows(rows, "Fig. 12(a): mean detection delay (ns) vs log size/timeout\n"+
 			"paper: mean scales ~linearly with log size",
 			func(r LogRow) float64 { return r.MeanNS }, "%14.0f")
-		out += "\n" + RenderLogRows(rows, "Fig. 12(b): max detection delay (ns) vs log size/timeout",
+		text += "\n" + RenderLogRows(rows, "Fig. 12(b): max detection delay (ns) vs log size/timeout",
 			func(r LogRow) float64 { return r.MaxNS }, "%14.0f")
-		return out, nil
+		return &Figure{Name: name, Rows: rows, Text: text}, nil
 	case "fig13":
 		rows, err := Fig13(o)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderFig13(rows), nil
+		return &Figure{Name: name, Rows: rows, Text: RenderFig13(rows)}, nil
 	case "area":
-		return RenderAreaPower(paradet.DefaultConfig()), nil
+		cfg := paradet.DefaultConfig()
+		return &Figure{Name: name, Rows: paradet.AreaPower(cfg), Text: RenderAreaPower(cfg)}, nil
 	case "sec6d":
 		o2 := o
 		if len(o2.Workloads) == 0 {
@@ -697,13 +688,22 @@ func RunByName(name string, o Options) (string, error) {
 		}
 		rows, err := Sec6D(o2)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return RenderSec6D(rows), nil
+		return &Figure{Name: name, Rows: rows, Text: RenderSec6D(rows)}, nil
 	default:
-		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)",
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			name, strings.Join(Names(), ", "))
 	}
+}
+
+// RunByName executes one named experiment and returns its rendering.
+func RunByName(name string, o Options) (string, error) {
+	f, err := Generate(name, o)
+	if err != nil {
+		return "", err
+	}
+	return f.Text, nil
 }
 
 // SortRowsByWorkload orders rows deterministically for golden outputs.

@@ -101,6 +101,44 @@ func TestFig1dOrdersSchemes(t *testing.T) {
 	_ = RenderFig1d(rows, "bitcount")
 }
 
+// TestParallelOutputMatchesSerial asserts the rendered figures are
+// byte-identical whatever the worker-pool size (the cmd/experiments
+// -parallel contract).
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	for _, name := range []string{"fig7", "fig9", "fig13"} {
+		o := fastOpts()
+		o.Parallel = 1
+		serial, err := RunByName(name, o)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		o.Parallel = 4
+		parallel, err := RunByName(name, o)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if serial != parallel {
+			t.Errorf("%s: parallel output differs from serial", name)
+		}
+	}
+}
+
+// TestGenerateCarriesRows asserts the JSON path exposes structured rows
+// alongside the rendering.
+func TestGenerateCarriesRows(t *testing.T) {
+	fig, err := Generate("fig7", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := fig.Rows.([]Fig7Row)
+	if !ok || len(rows) != 2 {
+		t.Fatalf("rows = %#v", fig.Rows)
+	}
+	if fig.Text == "" || fig.Name != "fig7" {
+		t.Errorf("figure metadata incomplete: %+v", fig)
+	}
+}
+
 func TestRunByNameRejectsUnknown(t *testing.T) {
 	if _, err := RunByName("fig99", Options{}); err == nil {
 		t.Fatal("unknown experiment accepted")

@@ -16,9 +16,10 @@
 //
 //	prog, _, err := paradet.LoadWorkload("stream")
 //	if err != nil { ... }
-//	res, err := paradet.Run(paradet.DefaultConfig(), prog)
+//	slow, prot, _, err := paradet.Slowdown(paradet.DefaultConfig(), prog)
+//	if err != nil { ... }
 //	fmt.Printf("slowdown %.3f, mean detection delay %.0f ns\n",
-//	    res.SlowdownVsUnprotected, res.Delay.MeanNS)
+//	    slow, prot.Delay.MeanNS)
 package paradet
 
 import (

@@ -3,14 +3,9 @@ package paradet
 import (
 	"fmt"
 
-	"paradet/internal/branch"
 	detect "paradet/internal/core"
-	"paradet/internal/inorder"
 	"paradet/internal/isa"
-	"paradet/internal/mem"
-	"paradet/internal/ooo"
 	"paradet/internal/sim"
-	"paradet/internal/trace"
 )
 
 // faultPlan carries the injector's hook functions into a run; it is
@@ -26,13 +21,13 @@ type faultPlan struct {
 // Run simulates the program on the protected system (main core + parallel
 // error detection) with the given configuration.
 func Run(cfg Config, p *Program) (*Result, error) {
-	return runSystem(cfg, p, true, nil)
+	return NewSystemBuilder(cfg, p).Run()
 }
 
 // RunUnprotected simulates the program on the bare main core, the
 // normalisation baseline of the paper's performance figures.
 func RunUnprotected(cfg Config, p *Program) (*Result, error) {
-	return runSystem(cfg, p, false, nil)
+	return NewSystemBuilder(cfg, p).Protected(false).Run()
 }
 
 // Slowdown runs the program both ways and reports protected time divided
@@ -67,169 +62,3 @@ func (n *nullChecker) StartCheck(seg *detect.Segment, at sim.Time) {
 }
 
 func (n *nullChecker) Busy() bool { return n.busy }
-
-func runSystem(cfg Config, p *Program, protected bool, fp *faultPlan) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if p == nil || p.prog == nil {
-		return nil, fmt.Errorf("paradet: nil program")
-	}
-	ocfg := ooo.NewTableIConfig()
-	if cfg.BigCore {
-		ocfg = ooo.NewBigCoreConfig()
-		cfg.MainCoreHz = ocfg.Clock.Hz()
-	}
-	mainClk := sim.NewClock(cfg.MainCoreHz)
-	chkClk := sim.NewClock(cfg.CheckerHz)
-	eng := sim.NewEngine()
-
-	// Memory hierarchy (Table I).
-	dram := mem.NewDDR3()
-	l2 := mem.NewCache(mem.CacheConfig{
-		Name: "L2", SizeBytes: 1 << 20, Ways: 16, LineBytes: 64,
-		HitLat: mainClk.Duration(12), MSHRs: 16, Prefetch: true,
-	}, dram)
-	l1i := mem.NewCache(mem.CacheConfig{
-		Name: "L1I", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64,
-		HitLat: mainClk.Duration(2), MSHRs: 6,
-	}, l2)
-	l1d := mem.NewCache(mem.CacheConfig{
-		Name: "L1D", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64,
-		HitLat: mainClk.Duration(2), MSHRs: 6,
-	}, l2)
-
-	// Functional oracle.
-	img := mem.NewSparse()
-	oracle := trace.NewOracle(p.prog, img, cfg.MaxInstrs)
-	if fp != nil && fp.main != nil {
-		oracle.M.Hooks.PostExec = fp.main
-	}
-
-	bp := branch.New(branch.Config{})
-
-	// Detection hardware.
-	var gate ooo.CommitGate
-	var det *detect.Detector
-	var checkers []*inorder.Checker
-	if protected {
-		dcfg := detect.Config{
-			NumSegments:       cfg.NumCheckers,
-			LogBytes:          cfg.LogBytes,
-			EntryBytes:        cfg.EntryBytes,
-			TimeoutInstrs:     cfg.TimeoutInstrs,
-			CheckpointCycles:  cfg.CheckpointCycles,
-			MainClock:         mainClk,
-			InterruptInterval: sim.Time(cfg.InterruptIntervalNS) * sim.Nanosecond,
-			DelayHistBinNS:    50,
-			DelayHistBins:     100,
-		}
-		det = detect.New(dcfg, p.prog, trace.InitialRegs(p.prog))
-		if fp != nil && fp.main != nil {
-			det.RetireHooks().PostExec = fp.main
-		}
-		pool := make([]detect.Checker, cfg.NumCheckers)
-		if cfg.DisableCheckers {
-			for i := range pool {
-				pool[i] = &nullChecker{sink: det}
-			}
-		} else {
-			// Checker instruction-cache cluster (Fig. 4): a tiny private
-			// L0 per core in front of an L1I shared by all checkers,
-			// which connects to the main core's L2.
-			sharedL1I := mem.NewCache(mem.CacheConfig{
-				Name: "cL1I", SizeBytes: 16 << 10, Ways: 4, LineBytes: 64,
-				HitLat: chkClk.Duration(2), MSHRs: 4,
-			}, l2)
-			ccfg := inorder.DefaultConfig(chkClk)
-			for i := range pool {
-				l0 := mem.NewCache(mem.CacheConfig{
-					Name: fmt.Sprintf("cL0.%d", i), SizeBytes: 2 << 10,
-					Ways: 2, LineBytes: 64, HitLat: 0, MSHRs: 1,
-				}, sharedL1I)
-				ck := inorder.New(i, ccfg, p.prog, l0, det, eng)
-				if fp != nil && fp.checker != nil {
-					if h := fp.checker(i); h != nil {
-						ck.Hooks().PostExec = h
-					}
-				}
-				checkers = append(checkers, ck)
-				pool[i] = ck
-			}
-		}
-		det.AttachCheckers(pool)
-		gate = det
-	}
-
-	// Main core.
-	ocfg.Clock = mainClk
-	mainCore := ooo.New(ocfg, oracle, l1i, l1d, bp, gate)
-	eng.Add(mainCore, 0)
-
-	// Run to completion: the main core drains, then §IV-H holds back
-	// termination until every outstanding segment is checked.
-	eng.Run(sim.MaxTime - 1)
-	if !mainCore.Done() {
-		return nil, fmt.Errorf("paradet: main core failed to drain (deadlock)")
-	}
-	finish := eng.Now()
-	if protected {
-		det.Finish(finish)
-		eng.Run(sim.MaxTime - 1)
-		if !det.AllChecked() {
-			return nil, fmt.Errorf("paradet: checks did not complete after program end")
-		}
-	}
-	wall := eng.Now()
-
-	// Assemble the result.
-	cs := mainCore.Stats()
-	res := &Result{
-		Workload:     p.name,
-		Protected:    protected,
-		Cycles:       cs.Cycles,
-		Instructions: cs.Instructions,
-		IPC:          cs.IPC(),
-		TimeNS:       cs.FinishTime.Nanoseconds(),
-		Loads:        cs.Loads,
-		Stores:       cs.Stores,
-		Branches:     cs.Branches,
-		Mispredicts:  cs.Mispredicts,
-		Output:       oracle.Env.Output,
-		finalMem:     img,
-	}
-	if oracle.Err != nil {
-		res.ProgFault = oracle.Err.Error()
-	}
-	if protected {
-		ds := det.Stats()
-		res.Delay, res.DelayDensity = delaySummary(det.Delay)
-		res.Checkpoints = ds.Checkpoints
-		res.SealsByReason = map[string]uint64{
-			"capacity":  ds.SealsByReason[detect.SealCapacity],
-			"timeout":   ds.SealsByReason[detect.SealTimeout],
-			"interrupt": ds.SealsByReason[detect.SealInterrupt],
-			"finish":    ds.SealsByReason[detect.SealFinish],
-		}
-		res.SegmentsChecked = ds.SegmentsChecked
-		res.EntriesLogged = ds.EntriesLogged
-		res.LogFullStallCycles = cs.LogFullStallCycles
-		res.CheckpointStallNS = cs.CheckpointStall.Nanoseconds()
-		res.LFUPeak = ds.LFUPeak
-		if fe := det.FirstError(); fe != nil {
-			info := errorInfo(fe)
-			res.FirstError = &info
-		}
-		for _, e := range det.Errors() {
-			res.AllErrors = append(res.AllErrors, errorInfo(e))
-		}
-		for _, ck := range checkers {
-			util := 0.0
-			if wall > 0 {
-				util = float64(ck.Stats().BusyTime) / float64(wall)
-			}
-			res.CheckerUtilization = append(res.CheckerUtilization, util)
-		}
-	}
-	return res, nil
-}
