@@ -12,11 +12,13 @@ package paradet_test
 // reproduced numbers over time.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"paradet"
 	"paradet/internal/campaign"
+	"paradet/internal/resultstore"
 )
 
 const benchInstrs = 40_000
@@ -399,6 +401,61 @@ func BenchmarkFaultCampaign(b *testing.B) {
 		}
 		if camp.Counts[paradet.OutcomeSilent] > 0 {
 			b.Fatal("silent corruption inside the sphere")
+		}
+	}
+}
+
+// BenchmarkFaultGridCampaign measures the first-class fault-campaign
+// path: a deterministic target × seq × bit grid classified through the
+// campaign engine with a memoised golden run.
+func BenchmarkFaultGridCampaign(b *testing.B) {
+	spec := campaign.Spec{
+		Name:      "bench-faultgrid",
+		Workloads: []string{"bitcount"},
+		Points:    []campaign.Point{benchPoint("tableI", nil)},
+		Faults: &campaign.FaultGrid{
+			Targets: []paradet.FaultTarget{paradet.FaultDestReg, paradet.FaultStoreValue},
+			Seqs:    []uint64{40, 400},
+			Bits:    []uint8{5},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		out := benchSweep(b, spec)
+		if i == 0 {
+			b.ReportMetric(float64(len(out.Results)), "faults")
+		}
+	}
+}
+
+// BenchmarkStoreWarmSweep measures the persistent result store's
+// cache-hit path: a Fig. 7-shaped sweep against a fully warm store,
+// which must perform zero simulations per iteration.
+func BenchmarkStoreWarmSweep(b *testing.B) {
+	st, err := resultstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := campaign.Spec{
+		Name:         "bench-store",
+		Workloads:    []string{"stream", "randacc", "bitcount"},
+		Points:       []campaign.Point{benchPoint("tableI", nil)},
+		WithBaseline: true,
+	}
+	warm, err := campaign.ExecuteContext(context.Background(), spec, nil, campaign.Options{Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := campaign.ExecuteContext(context.Background(), spec, nil, campaign.Options{Store: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Stats.CellSims+out.Stats.BaselineSims != 0 {
+			b.Fatalf("warm store simulated: %+v", out.Stats)
 		}
 	}
 }

@@ -11,20 +11,28 @@
 //	experiments -workloads stream,randacc
 //	experiments -parallel 4     # bound the sweep worker pool
 //	experiments -run fig7 -json # machine-readable rows on stdout
+//	experiments -store .pdstore # persist results; re-runs skip hits
+//	experiments -store .pdstore -no-cache   # ignore the store this run
+//	experiments -run faultcov -json         # fault campaign, schema-stable JSON
 //
 // Output on stdout is deterministic: -parallel N produces bytes
-// identical to -parallel 1 (timing notes go to stderr).
+// identical to -parallel 1, and a -store re-run produces bytes
+// identical to the storeless path (cache traffic goes to stderr).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"paradet/internal/campaign"
 	"paradet/internal/experiments"
+	"paradet/internal/resultstore"
 )
 
 func main() {
@@ -34,11 +42,46 @@ func main() {
 	wl := flag.String("workloads", "", "comma-separated workload subset (default: all nine)")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit structured JSON rows instead of text tables")
+	storeDir := flag.String("store", "", "campaign result store directory (cells persist across runs)")
+	noCache := flag.Bool("no-cache", false, "ignore -store: simulate everything, write nothing")
+	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
 	flag.Parse()
 
-	opts := experiments.Options{MaxInstrs: *instrs, Parallel: *parallel}
+	// Ctrl-C cancels between cells; finished cells stay in the store.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	stats := &campaign.Stats{}
+	opts := experiments.Options{
+		MaxInstrs: *instrs,
+		Parallel:  *parallel,
+		Context:   ctx,
+		Stats:     stats,
+	}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
+	}
+	if *storeDir != "" && !*noCache {
+		st, err := resultstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Store = st
+	}
+	if *progress {
+		opts.Progress = func(p campaign.Progress) {
+			state := "sim"
+			if p.Cached {
+				state = "hit"
+			}
+			if p.Err != nil {
+				state = "ERR"
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s/%s[%s] (hits %d, sims %d, baseline sims %d)\n",
+				p.Done, p.Total, state, p.Workload, p.Label, p.Scheme,
+				p.CellHits+p.BaselineHits, p.CellSims, p.BaselineSims)
+		}
 	}
 
 	names := experiments.Names()
@@ -46,6 +89,7 @@ func main() {
 		names = []string{*run}
 	}
 
+	var simTime time.Duration
 	var figures []*experiments.Figure
 	for _, name := range names {
 		start := time.Now()
@@ -54,6 +98,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		simTime += time.Since(start)
 		if *jsonOut {
 			figures = append(figures, fig)
 		} else {
@@ -61,6 +106,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "  [%s took %.1fs]\n", name, time.Since(start).Seconds())
 	}
+
+	// One-line cache summary (stderr, so stdout stays byte-identical to
+	// the storeless path). CI greps this exact shape.
+	fmt.Fprintf(os.Stderr, "cache: cells=%d hits=%d misses=%d baseline-sims=%d sim-time=%.1fs\n",
+		stats.Cells, stats.CellHits+stats.BaselineHits, stats.CellSims+stats.BaselineSims,
+		stats.BaselineSims, simTime.Seconds())
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

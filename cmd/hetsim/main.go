@@ -8,16 +8,30 @@
 //	hetsim -asm prog.s -instrs 100000
 //	hetsim -workload bitcount -fault store-value:40:5
 //	hetsim -workload stream -baseline lockstep
+//
+// A fault-injection grid runs as a first-class campaign — the cross
+// product of -fault-targets, -fault-seqs and -fault-bits — optionally
+// memoised in a persistent result store and emitted as schema-stable
+// JSON:
+//
+//	hetsim -workload bitcount -fault-targets dest-reg,store-value \
+//	    -fault-seqs 40,400 -fault-bits 5,40 -store .pdstore -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"paradet"
+	"paradet/internal/campaign"
+	"paradet/internal/experiments"
+	"paradet/internal/resultstore"
 )
 
 func main() {
@@ -31,6 +45,12 @@ func main() {
 	timeout := flag.Uint64("timeout", 5000, "segment instruction timeout (0 = infinite)")
 	baseline := flag.String("baseline", "", "also run a baseline: lockstep, rmt, or unprotected")
 	faultSpec := flag.String("fault", "", "inject a fault: target:seq:bit[:sticky], e.g. store-value:40:5")
+	faultTargets := flag.String("fault-targets", "", "fault campaign: comma-separated targets (or \"all\")")
+	faultSeqs := flag.String("fault-seqs", "40,400", "fault campaign: comma-separated strike instruction numbers")
+	faultBits := flag.String("fault-bits", "5,40", "fault campaign: comma-separated bit positions (0-63)")
+	faultSticky := flag.Bool("fault-sticky", false, "fault campaign: also sweep hard (sticky) faults")
+	jsonOut := flag.Bool("json", false, "fault campaign: emit schema-stable JSON instead of text")
+	storeDir := flag.String("store", "", "fault campaign: persistent result store directory")
 	flag.Parse()
 
 	if *list {
@@ -38,11 +58,6 @@ func main() {
 			fmt.Printf("%-14s %-8s %-16s %s\n", w.Name, w.Suite, w.Class, w.Description)
 		}
 		return
-	}
-
-	prog, name, def, err := loadProgram(*workload, *asmFile)
-	if err != nil {
-		fail(err)
 	}
 
 	cfg := paradet.DefaultConfig()
@@ -54,7 +69,27 @@ func main() {
 	} else {
 		cfg.TimeoutInstrs = *timeout
 	}
-	cfg.MaxInstrs = *instrs
+	cfg.MaxInstrs = *instrs // 0 = workload default (resolved below / by the engine)
+
+	if *faultTargets != "" {
+		// The campaign engine loads (and assembles) the workload itself,
+		// so branch before loadProgram to avoid assembling it twice.
+		if *workload == "" {
+			fail(fmt.Errorf("fault campaigns need -workload (the campaign engine loads by name)"))
+		}
+		err := runFaultCampaign(*workload, cfg, faultGridArgs{
+			targets: *faultTargets, seqs: *faultSeqs, bits: *faultBits, sticky: *faultSticky,
+		}, *storeDir, *jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	prog, name, def, err := loadProgram(*workload, *asmFile)
+	if err != nil {
+		fail(err)
+	}
 	if cfg.MaxInstrs == 0 {
 		cfg.MaxInstrs = def
 	}
@@ -120,6 +155,93 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown baseline %q", *baseline))
 	}
+}
+
+type faultGridArgs struct {
+	targets, seqs, bits string
+	sticky              bool
+}
+
+// parseGrid compiles the CLI grid flags into a campaign fault grid.
+func parseGrid(a faultGridArgs) (campaign.FaultGrid, error) {
+	var g campaign.FaultGrid
+	if a.targets == "all" {
+		g.Targets = paradet.FaultTargets()
+	} else {
+		for _, t := range strings.Split(a.targets, ",") {
+			tt := paradet.FaultTarget(strings.TrimSpace(t))
+			if !tt.Valid() {
+				return g, fmt.Errorf("unknown fault target %q", tt)
+			}
+			g.Targets = append(g.Targets, tt)
+		}
+	}
+	for _, s := range strings.Split(a.seqs, ",") {
+		seq, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return g, fmt.Errorf("fault seq: %w", err)
+		}
+		g.Seqs = append(g.Seqs, seq)
+	}
+	for _, s := range strings.Split(a.bits, ",") {
+		bit, err := strconv.ParseUint(strings.TrimSpace(s), 10, 8)
+		if err != nil {
+			return g, fmt.Errorf("fault bit: %w", err)
+		}
+		if bit > 63 {
+			return g, fmt.Errorf("fault bit %d out of range (values are 64-bit; want 0-63)", bit)
+		}
+		g.Bits = append(g.Bits, uint8(bit))
+	}
+	g.Sticky = []bool{false}
+	if a.sticky {
+		g.Sticky = []bool{false, true}
+	}
+	return g, nil
+}
+
+// runFaultCampaign executes the fault grid as a campaign spec and
+// prints either the text summary or the versioned JSON report.
+func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, storeDir string, jsonOut bool) error {
+	grid, err := parseGrid(args)
+	if err != nil {
+		return err
+	}
+	var opts campaign.Options
+	if storeDir != "" {
+		st, err := resultstore.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		opts.Store = st
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	out, err := campaign.ExecuteContext(ctx, campaign.Spec{
+		Name:      "hetsim-faults",
+		Workloads: []string{workload},
+		Points:    []campaign.Point{{Label: "cli", Config: cfg}},
+		MaxInstrs: cfg.MaxInstrs,
+		Faults:    &grid,
+	}, nil, opts)
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.FaultReportFromOutcome(out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cache: cells=%d hits=%d misses=%d baseline-sims=%d\n",
+		out.Stats.Cells, out.Stats.CellHits+out.Stats.BaselineHits,
+		out.Stats.CellSims+out.Stats.BaselineSims, out.Stats.BaselineSims)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Print(experiments.RenderFaultCov(rep))
+	return nil
 }
 
 func loadProgram(workload, asmFile string) (*paradet.Program, string, uint64, error) {

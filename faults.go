@@ -47,6 +47,20 @@ type Fault struct {
 
 func (f Fault) String() string { return f.internal().String() }
 
+// Valid reports whether the target names a known injection path.
+func (t FaultTarget) Valid() bool {
+	_, ok := targetByName[t]
+	return ok
+}
+
+// FaultTargets lists every injection path in declaration order.
+func FaultTargets() []FaultTarget {
+	return []FaultTarget{
+		FaultDestReg, FaultLoadPostLFU, FaultLoadPreLFU,
+		FaultStoreValue, FaultStoreAddr, FaultControl, FaultCheckerReg,
+	}
+}
+
 func (f Fault) internal() fault.Fault {
 	t, ok := targetByName[f.Target]
 	if !ok {
@@ -173,6 +187,11 @@ func RunCampaign(cfg Config, p *Program, n int, seed int64) (*CampaignResult, er
 // golden (fault-free, unprotected) result for the same program and
 // configuration.
 func ClassifyFault(cfg Config, p *Program, f Fault, golden *Result) (FaultRecord, error) {
+	if golden.finalMem == nil {
+		// Classification diffs committed memory, which only a run in this
+		// process carries (it is deliberately not serialized).
+		return FaultRecord{}, fmt.Errorf("paradet: golden result has no final memory image; use a freshly simulated unprotected run")
+	}
 	res, err := RunWithFaults(cfg, p, []Fault{f})
 	if err != nil {
 		return FaultRecord{}, err

@@ -4,6 +4,27 @@ import (
 	"testing"
 )
 
+// TestFaultTargetsMatchesRegistry keeps the hand-maintained
+// FaultTargets list in lockstep with targetByName: a new injection
+// path must appear in both, or "all"-target campaigns would silently
+// skip it.
+func TestFaultTargetsMatchesRegistry(t *testing.T) {
+	listed := FaultTargets()
+	if len(listed) != len(targetByName) {
+		t.Fatalf("FaultTargets lists %d targets, registry has %d", len(listed), len(targetByName))
+	}
+	seen := map[FaultTarget]bool{}
+	for _, ft := range listed {
+		if !ft.Valid() {
+			t.Errorf("FaultTargets lists unknown target %q", ft)
+		}
+		if seen[ft] {
+			t.Errorf("FaultTargets lists %q twice", ft)
+		}
+		seen[ft] = true
+	}
+}
+
 // faultConfig bounds runs: injected faults can corrupt loop counters and
 // make the program run forever, which the instruction budget must cap.
 func faultConfig() Config {

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -8,16 +9,48 @@ import (
 	"sync/atomic"
 
 	"paradet"
+	"paradet/internal/resultstore"
 )
 
-// Outcome is a completed campaign: one Run per (workload, point) cell,
-// in spec order (workload-major), independent of worker scheduling.
+// Stats counts what a campaign actually did, separating simulations
+// from cache traffic. A campaign re-executed against a warm result
+// store reports CellSims == 0 && BaselineSims == 0.
+type Stats struct {
+	// Cells is the total number of grid cells.
+	Cells int
+	// CellHits counts cells whose payload was loaded from the store.
+	CellHits int
+	// CellSims counts simulations performed directly for cells:
+	// protected runs and fault classifications.
+	CellSims int
+	// BaselineSims counts memoised reference simulations actually
+	// performed: unprotected baselines/cells, lockstep and RMT
+	// reference runs, and golden runs for fault classification.
+	BaselineSims int
+	// BaselineHits counts reference results loaded from the store.
+	BaselineHits int
+}
+
+// Add accumulates another campaign's counters, keeping the field list
+// in one place for callers that total stats across sweeps.
+func (s *Stats) Add(o Stats) {
+	s.Cells += o.Cells
+	s.CellHits += o.CellHits
+	s.CellSims += o.CellSims
+	s.BaselineSims += o.BaselineSims
+	s.BaselineHits += o.BaselineHits
+}
+
+// Outcome is a completed campaign: one Run per (workload, point[,
+// fault]) cell, in spec order (workload-major, then point, then
+// fault), independent of worker scheduling.
 type Outcome struct {
 	Spec    Spec
 	Results []Run
-	// BaselineSims counts distinct baseline simulations actually
-	// performed (cache misses); with memoisation this is the number of
-	// unique (workload, MaxInstrs, BigCore) keys, not the run count.
+	Stats   Stats
+	// BaselineSims mirrors Stats.BaselineSims: distinct reference
+	// simulations actually performed (cache misses); with memoisation
+	// this is the number of unique reference keys, not the run count.
 	BaselineSims int
 }
 
@@ -27,70 +60,233 @@ func (o *Outcome) Err() error {
 	for i := range o.Results {
 		r := &o.Results[i]
 		if r.Err != nil {
-			errs = append(errs, fmt.Errorf("%s %s/%s: %w", o.Spec.Name, r.Workload, r.Point.Label, r.Err))
+			cell := fmt.Sprintf("%s %s/%s[%s]", o.Spec.Name, r.Workload, r.Point.Label, r.Scheme)
+			if r.Fault != nil {
+				cell += fmt.Sprintf("{%v}", *r.Fault)
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", cell, r.Err))
 		}
 	}
 	return errors.Join(errs...)
 }
 
-// baseKey identifies one memoisable unprotected-baseline simulation.
-// An unprotected run depends only on the program, the sample length and
+// Progress reports one completed cell plus running totals. Callbacks
+// are serialized by the engine, so implementations need no locking.
+type Progress struct {
+	// Done and Total count cells (Done includes failed cells).
+	Done, Total int
+	// CellHits/CellSims/BaselineSims/BaselineHits are running totals
+	// with the Stats meanings.
+	CellHits, CellSims, BaselineSims, BaselineHits int
+	// Workload, Label and Scheme identify the finished cell; Cached
+	// marks it as store-served.
+	Workload, Label string
+	Scheme          Scheme
+	Cached          bool
+	// Err is the cell's failure, if any.
+	Err error
+}
+
+// ProgressFunc observes per-cell completion.
+type ProgressFunc func(Progress)
+
+// Options tune Execute beyond the spec itself.
+type Options struct {
+	// Store, when non-nil, memoises cells persistently: hits load from
+	// disk, misses simulate and write back atomically, so concurrent
+	// processes may share one store directory.
+	Store *resultstore.Store
+	// Progress, when non-nil, is invoked after every cell.
+	Progress ProgressFunc
+}
+
+// counters aggregates engine statistics across workers.
+type counters struct {
+	done, cellHits, cellSims, baseSims, baseHits atomic.Int64
+}
+
+func (c *counters) stats(cells int) Stats {
+	return Stats{
+		Cells:        cells,
+		CellHits:     int(c.cellHits.Load()),
+		CellSims:     int(c.cellSims.Load()),
+		BaselineSims: int(c.baseSims.Load()),
+		BaselineHits: int(c.baseHits.Load()),
+	}
+}
+
+// baseKey identifies one memoisable reference simulation. An
+// unprotected run depends only on the program, the sample length and
 // the main-core microarchitecture; checker-side knobs are irrelevant,
 // so sweep points share one baseline. BigCore overrides MainCoreHz, so
-// the clock is normalised to zero when it is set.
+// the clock is normalised to zero when it is set. Lockstep and RMT
+// reference runs are keyed the same way, distinguished by scheme.
 type baseKey struct {
 	workload  string
+	scheme    Scheme
 	maxInstrs uint64
 	bigCore   bool
 	mainHz    uint64
 }
 
-type baseEntry struct {
-	once sync.Once
-	res  *paradet.Result
-	err  error
-}
-
-// baselineCache memoises unprotected runs so each unique baseline
-// simulates exactly once per campaign, whichever worker gets there
-// first; concurrent requesters block on the same entry.
-type baselineCache struct {
-	sim     Simulator
-	mu      sync.Mutex
-	entries map[baseKey]*baseEntry
-	sims    atomic.Int64
-}
-
-func newBaselineCache(sim Simulator) *baselineCache {
-	return &baselineCache{sim: sim, entries: make(map[baseKey]*baseEntry)}
-}
-
-func (c *baselineCache) get(cfg paradet.Config, workload string, p *paradet.Program) (*paradet.Result, error) {
-	key := baseKey{workload: workload, maxInstrs: cfg.MaxInstrs, bigCore: cfg.BigCore, mainHz: cfg.MainCoreHz}
-	if key.bigCore {
+func newBaseKey(cfg paradet.Config, workload string, scheme Scheme) baseKey {
+	key := baseKey{workload: workload, scheme: scheme, maxInstrs: cfg.MaxInstrs, bigCore: cfg.BigCore, mainHz: cfg.MainCoreHz}
+	if scheme == SchemeUnprotected && key.bigCore {
 		key.mainHz = 0 // BigCore ignores MainCoreHz
 	}
+	return key
+}
+
+// storeKey is the persistent fingerprint identity of a reference run:
+// the resolved config with every knob the scheme ignores normalised to
+// zero, so equivalent runs share one cell across sweeps.
+func (k baseKey) storeKey() resultstore.Key {
+	cfg := paradet.Config{
+		MaxInstrs:  k.maxInstrs,
+		BigCore:    k.bigCore,
+		MainCoreHz: k.mainHz,
+	}
+	return resultstore.Key{Workload: k.workload, Scheme: string(k.scheme), Config: cfg}
+}
+
+type baseEntry struct {
+	mu  sync.Mutex
+	res *paradet.Result
+	aux *paradet.BaselineResult
+	err error
+	// simulated marks in-process results, which (unlike store-loaded
+	// ones) carry the final memory image fault classification needs.
+	simulated bool
+	fromStore bool
+}
+
+// refCache memoises reference runs — unprotected baselines/cells plus
+// lockstep and RMT reference runs — so each unique key simulates at
+// most once per campaign, whichever worker gets there first, and is
+// additionally served from the persistent store when one is attached.
+// Concurrent requesters of one key block on the same entry.
+type refCache struct {
+	sim     Simulator
+	store   *resultstore.Store
+	ctrs    *counters
+	mu      sync.Mutex
+	entries map[baseKey]*baseEntry
+}
+
+func newRefCache(sim Simulator, store *resultstore.Store, ctrs *counters) *refCache {
+	return &refCache{sim: sim, store: store, ctrs: ctrs, entries: make(map[baseKey]*baseEntry)}
+}
+
+func (c *refCache) entry(key baseKey) *baseEntry {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	e := c.entries[key]
 	if e == nil {
 		e = &baseEntry{}
 		c.entries[key] = e
 	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		c.sims.Add(1)
-		e.res, e.err = c.sim.RunUnprotected(cfg, p)
-		if e.err == nil && e.res.TimeNS == 0 {
-			e.err = fmt.Errorf("zero-length baseline run")
-		}
-	})
-	return e.res, e.err
+	return e
 }
 
-// Execute runs the campaign. It returns an error only for spec-level
-// problems (empty spec, unknown scheme); individual run failures land
-// on their Run and in Outcome.Err.
+// unprotected returns the memoised unprotected run for cfg. needMem
+// demands an in-process simulation (fault classification diffs final
+// memory, which store-loaded results do not carry); a store-loaded
+// entry is upgraded by re-simulating once.
+func (c *refCache) unprotected(ctx context.Context, cfg paradet.Config, workload string, p *paradet.Program, needMem bool) (*paradet.Result, bool, error) {
+	key := newBaseKey(cfg, workload, SchemeUnprotected)
+	e := c.entry(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	if e.res != nil && (e.simulated || !needMem) {
+		return e.res, e.fromStore, nil
+	}
+	if !needMem && c.store != nil {
+		if cell, ok := c.store.Get(key.storeKey()); ok && cell.Result != nil {
+			c.ctrs.baseHits.Add(1)
+			e.res, e.fromStore = cell.Result, true
+			return e.res, true, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	c.ctrs.baseSims.Add(1)
+	res, err := c.sim.RunUnprotected(ctx, cfg, p)
+	if err == nil && res.TimeNS == 0 {
+		err = fmt.Errorf("zero-length baseline run")
+	}
+	if err != nil {
+		e.err = err
+		return nil, false, err
+	}
+	e.res, e.simulated, e.fromStore = res, true, false
+	if c.store != nil {
+		c.store.Put(key.storeKey(), &resultstore.Cell{Result: res}) // best-effort
+	}
+	return e.res, false, nil
+}
+
+// reference returns the memoised lockstep or RMT reference run.
+func (c *refCache) reference(ctx context.Context, cfg paradet.Config, workload string, scheme Scheme, p *paradet.Program) (*paradet.BaselineResult, bool, error) {
+	key := newBaseKey(cfg, workload, scheme)
+	e := c.entry(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	if e.aux != nil {
+		return e.aux, e.fromStore, nil
+	}
+	if c.store != nil {
+		if cell, ok := c.store.Get(key.storeKey()); ok && cell.Baseline != nil {
+			c.ctrs.baseHits.Add(1)
+			e.aux, e.fromStore = cell.Baseline, true
+			return e.aux, true, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	c.ctrs.baseSims.Add(1)
+	var aux *paradet.BaselineResult
+	var err error
+	if scheme == SchemeLockstep {
+		aux, err = c.sim.RunLockstep(ctx, cfg, p)
+	} else {
+		aux, err = c.sim.RunRMT(ctx, cfg, p)
+	}
+	if err != nil {
+		e.err = err
+		return nil, false, err
+	}
+	e.aux = aux
+	if c.store != nil {
+		c.store.Put(key.storeKey(), &resultstore.Cell{Baseline: aux}) // best-effort
+	}
+	return e.aux, false, nil
+}
+
+// Execute runs the campaign with a background context and no store.
+// It returns an error only for spec-level problems (empty spec,
+// unknown scheme); individual run failures land on their Run and in
+// Outcome.Err.
 func Execute(spec Spec, sim Simulator) (*Outcome, error) {
+	return ExecuteContext(context.Background(), spec, sim, Options{})
+}
+
+// ExecuteContext runs the campaign under a context with optional store
+// memoisation and progress reporting. Cancellation is honoured between
+// cells: already-finished cells keep their results, unstarted cells
+// record the context error, and the context error is returned
+// alongside the partial outcome.
+func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if sim == nil {
 		sim = Default()
 	}
@@ -110,36 +306,190 @@ func Execute(spec Spec, sim Simulator) (*Outcome, error) {
 		if _, ok := progs[name]; ok {
 			continue
 		}
-		p, info, err := sim.Load(name)
+		p, info, err := sim.Load(ctx, name)
 		progs[name] = loaded{prog: p, info: info, err: err}
 	}
 
-	// Expand the grid workload-major so Results[i*len(Points)+j] is
-	// (Workloads[i], Points[j]).
-	out := &Outcome{Spec: spec, Results: make([]Run, len(spec.Workloads)*len(spec.Points))}
+	// Expand the grid workload-major, then point, then fault, so
+	// Results[(i*len(Points)+j)*nf+k] is (Workloads[i], Points[j],
+	// faults[k]). Performance campaigns have one implicit nil fault.
+	var faults []paradet.Fault
+	nf := 1
+	if spec.Faults != nil {
+		faults = spec.Faults.Faults()
+		nf = len(faults)
+	}
+	out := &Outcome{Spec: spec, Results: make([]Run, len(spec.Workloads)*len(spec.Points)*nf)}
 	for i, name := range spec.Workloads {
 		for j, pt := range spec.Points {
-			r := &out.Results[i*len(spec.Points)+j]
-			r.Workload = name
-			r.Point = pt
-			r.Scheme = spec.scheme(pt)
-			l := progs[name]
-			r.Config = resolveConfig(pt.Config, spec.MaxInstrs, l.info)
+			for k := 0; k < nf; k++ {
+				r := &out.Results[(i*len(spec.Points)+j)*nf+k]
+				r.Workload = name
+				r.Point = pt
+				r.Scheme = spec.scheme(pt)
+				l := progs[name]
+				r.Config = resolveConfig(pt.Config, spec.MaxInstrs, l.info)
+				if faults != nil {
+					f := faults[k]
+					r.Fault = &f
+				}
+			}
 		}
 	}
 
-	cache := newBaselineCache(sim)
+	eng := &engine{
+		sim:      sim,
+		store:    opts.Store,
+		ctrs:     &counters{},
+		progress: opts.Progress,
+		total:    len(out.Results),
+	}
+	eng.cache = newRefCache(sim, opts.Store, eng.ctrs)
 	forEach(spec.Parallel, len(out.Results), func(i int) {
 		r := &out.Results[i]
 		l := progs[r.Workload]
-		if l.err != nil {
+		switch {
+		case ctx.Err() != nil:
+			r.Err = ctx.Err()
+		case l.err != nil:
 			r.Err = fmt.Errorf("load workload: %w", l.err)
+		default:
+			eng.run(ctx, r, l.prog, spec.WithBaseline)
+		}
+		eng.report(r)
+	})
+	out.Stats = eng.ctrs.stats(len(out.Results))
+	out.BaselineSims = out.Stats.BaselineSims
+	return out, ctx.Err()
+}
+
+// engine bundles the per-execution state the cell workers share.
+type engine struct {
+	sim      Simulator
+	store    *resultstore.Store
+	cache    *refCache
+	ctrs     *counters
+	total    int
+	mu       sync.Mutex // serializes progress callbacks
+	progress ProgressFunc
+}
+
+// report emits one progress event (serialized across workers). The
+// done increment happens under the mutex so events carry strictly
+// increasing Done counts; the final event (Done == Total) observes
+// every worker's counter updates, because each cell's increments
+// happen before its own report and all prior reports released the
+// mutex this one holds.
+func (e *engine) report(r *Run) {
+	if e.progress == nil {
+		e.ctrs.done.Add(1)
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	done := e.ctrs.done.Add(1)
+	e.progress(Progress{
+		Done:         int(done),
+		Total:        e.total,
+		CellHits:     int(e.ctrs.cellHits.Load()),
+		CellSims:     int(e.ctrs.cellSims.Load()),
+		BaselineSims: int(e.ctrs.baseSims.Load()),
+		BaselineHits: int(e.ctrs.baseHits.Load()),
+		Workload:     r.Workload,
+		Label:        r.Point.Label,
+		Scheme:       r.Scheme,
+		Cached:       r.Cached,
+		Err:          r.Err,
+	})
+}
+
+// cellKey is the persistent identity of one cell. Protected and fault
+// cells fingerprint the full resolved config; unprotected, lockstep
+// and RMT cells share the reference-run normalisation so they alias
+// memoised baselines.
+func (e *engine) cellKey(r *Run) resultstore.Key {
+	switch {
+	case r.Fault != nil:
+		return resultstore.Key{Workload: r.Workload, Scheme: string(r.Scheme), Config: r.Config, Fault: r.Fault}
+	case r.Scheme == SchemeProtected:
+		return resultstore.Key{Workload: r.Workload, Scheme: string(r.Scheme), Config: r.Config}
+	default:
+		return newBaseKey(r.Config, r.Workload, r.Scheme).storeKey()
+	}
+}
+
+// run simulates (or loads) one cell and, when requested, its shared
+// baseline and slowdown.
+func (e *engine) run(ctx context.Context, r *Run, prog *paradet.Program, withBaseline bool) {
+	switch {
+	case r.Fault != nil:
+		e.runFault(ctx, r, prog)
+		return // golden run doubles as the baseline; slowdown is meaningless
+	case r.Scheme == SchemeProtected:
+		key := e.cellKey(r)
+		if e.store != nil {
+			if cell, ok := e.store.Get(key); ok && cell.Result != nil {
+				e.ctrs.cellHits.Add(1)
+				r.Res, r.Cached = cell.Result, true
+				break
+			}
+		}
+		e.ctrs.cellSims.Add(1)
+		r.Res, r.Err = e.sim.Run(ctx, r.Config, prog)
+		if r.Err == nil && e.store != nil {
+			e.store.Put(key, &resultstore.Cell{Result: r.Res}) // best-effort
+		}
+	case r.Scheme == SchemeUnprotected:
+		r.Res, r.Cached, r.Err = e.cache.unprotected(ctx, r.Config, r.Workload, prog, false)
+	case r.Scheme == SchemeLockstep, r.Scheme == SchemeRMT:
+		r.Aux, r.Cached, r.Err = e.cache.reference(ctx, r.Config, r.Workload, r.Scheme, prog)
+	}
+	if r.Err != nil || !withBaseline {
+		return
+	}
+	base, _, err := e.cache.unprotected(ctx, r.Config, r.Workload, prog, false)
+	if err != nil {
+		r.Err = fmt.Errorf("baseline: %w", err)
+		return
+	}
+	r.Baseline = base
+	r.Slowdown = r.TimeNS() / base.TimeNS
+}
+
+// runFault classifies one fault-injection cell against the memoised
+// golden run. The golden run is only simulated on a store miss, so a
+// fully warm store performs zero simulations.
+func (e *engine) runFault(ctx context.Context, r *Run, prog *paradet.Program) {
+	key := e.cellKey(r)
+	if e.store != nil {
+		if cell, ok := e.store.Get(key); ok && cell.FaultRecord != nil {
+			e.ctrs.cellHits.Add(1)
+			r.FaultRec, r.Cached = cell.FaultRecord, true
 			return
 		}
-		executeRun(r, l.prog, sim, cache, spec.WithBaseline)
-	})
-	out.BaselineSims = int(cache.sims.Load())
-	return out, nil
+	}
+	golden, _, err := e.cache.unprotected(ctx, r.Config, r.Workload, prog, true)
+	if err != nil {
+		r.Err = fmt.Errorf("golden run: %w", err)
+		return
+	}
+	// Bound runaway wrong-path execution from control faults, as
+	// paradet.RunCampaign does. The fingerprint keys the unbounded
+	// config: the bound is a deterministic function of it.
+	fcfg := r.Config
+	if fcfg.MaxInstrs == 0 || fcfg.MaxInstrs > 2*golden.Instructions+10000 {
+		fcfg.MaxInstrs = 2*golden.Instructions + 10000
+	}
+	e.ctrs.cellSims.Add(1)
+	rec, err := e.sim.ClassifyFault(ctx, fcfg, prog, *r.Fault, golden)
+	if err != nil {
+		r.Err = err
+		return
+	}
+	r.FaultRec = &rec
+	if e.store != nil {
+		e.store.Put(key, &resultstore.Cell{FaultRecord: &rec}) // best-effort
+	}
 }
 
 // resolveConfig fills the committed-instruction sample: point config,
@@ -152,31 +502,6 @@ func resolveConfig(cfg paradet.Config, specInstrs uint64, info paradet.WorkloadI
 		cfg.MaxInstrs = info.DefaultMaxInstrs
 	}
 	return cfg
-}
-
-// executeRun simulates one cell and, when requested, its shared
-// baseline and slowdown.
-func executeRun(r *Run, prog *paradet.Program, sim Simulator, cache *baselineCache, withBaseline bool) {
-	switch r.Scheme {
-	case SchemeProtected:
-		r.Res, r.Err = sim.Run(r.Config, prog)
-	case SchemeUnprotected:
-		r.Res, r.Err = sim.RunUnprotected(r.Config, prog)
-	case SchemeLockstep:
-		r.Aux, r.Err = sim.RunLockstep(r.Config, prog)
-	case SchemeRMT:
-		r.Aux, r.Err = sim.RunRMT(r.Config, prog)
-	}
-	if r.Err != nil || !withBaseline {
-		return
-	}
-	base, err := cache.get(r.Config, r.Workload, prog)
-	if err != nil {
-		r.Err = fmt.Errorf("baseline: %w", err)
-		return
-	}
-	r.Baseline = base
-	r.Slowdown = r.TimeNS() / base.TimeNS
 }
 
 // forEach fans indices [0, total) out across a bounded worker pool.

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"sync/atomic"
@@ -95,9 +96,9 @@ type countingSim struct {
 	unprotected atomic.Int64
 }
 
-func (c *countingSim) RunUnprotected(cfg paradet.Config, p *paradet.Program) (*paradet.Result, error) {
+func (c *countingSim) RunUnprotected(ctx context.Context, cfg paradet.Config, p *paradet.Program) (*paradet.Result, error) {
 	c.unprotected.Add(1)
-	return c.Simulator.RunUnprotected(cfg, p)
+	return c.Simulator.RunUnprotected(ctx, cfg, p)
 }
 
 // TestBaselineSimulatedOncePerWorkload asserts the memoisation contract:

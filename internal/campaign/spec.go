@@ -54,6 +54,64 @@ type Point struct {
 	Scheme Scheme
 }
 
+// FaultGrid declares a fault dimension for a campaign: the cross
+// product target × seq × bit × sticky, expanded like points. A spec
+// with a fault grid classifies every (workload, point, fault) cell
+// against a memoised fault-free golden run instead of measuring
+// performance; all points must resolve to SchemeProtected, since fault
+// detection is a property of the protected system.
+type FaultGrid struct {
+	// Targets are the architectural injection paths to sweep.
+	Targets []paradet.FaultTarget
+	// Seqs are the dynamic instruction numbers at which faults strike.
+	Seqs []uint64
+	// Bits are the flipped bit positions (0-63).
+	Bits []uint8
+	// Sticky selects transient and/or hard faults (nil = transient only).
+	Sticky []bool
+}
+
+// Faults expands the grid in deterministic target-major order.
+func (g *FaultGrid) Faults() []paradet.Fault {
+	sticky := g.Sticky
+	if len(sticky) == 0 {
+		sticky = []bool{false}
+	}
+	out := make([]paradet.Fault, 0, len(g.Targets)*len(g.Seqs)*len(g.Bits)*len(sticky))
+	for _, t := range g.Targets {
+		for _, seq := range g.Seqs {
+			for _, bit := range g.Bits {
+				for _, st := range sticky {
+					out = append(out, paradet.Fault{Target: t, Seq: seq, Bit: bit, Sticky: st})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (g *FaultGrid) validate(name string) error {
+	if len(g.Targets) == 0 || len(g.Seqs) == 0 || len(g.Bits) == 0 {
+		return fmt.Errorf("campaign %q: fault grid needs targets, seqs and bits", name)
+	}
+	for _, t := range g.Targets {
+		if !t.Valid() {
+			return fmt.Errorf("campaign %q: unknown fault target %q", name, t)
+		}
+	}
+	for _, seq := range g.Seqs {
+		if seq == 0 {
+			return fmt.Errorf("campaign %q: fault seq must be >= 1", name)
+		}
+	}
+	for _, bit := range g.Bits {
+		if bit > 63 {
+			return fmt.Errorf("campaign %q: fault bit %d out of range (0-63)", name, bit)
+		}
+	}
+	return nil
+}
+
 // Spec declares a campaign: every workload crossed with every point.
 type Spec struct {
 	// Name labels the campaign in error messages.
@@ -69,10 +127,15 @@ type Spec struct {
 	// whose Config.MaxInstrs is zero (0 = each workload's default).
 	MaxInstrs uint64
 	// WithBaseline additionally computes the memoised unprotected
-	// baseline for each run and fills Run.Baseline and Run.Slowdown.
+	// baseline for each run and fills Run.Baseline and Run.Slowdown
+	// (ignored for fault cells, where the golden run plays that role).
 	WithBaseline bool
 	// Parallel bounds the worker pool (0 = GOMAXPROCS).
 	Parallel int
+	// Faults, when set, adds a fault dimension: every (workload, point)
+	// pair is crossed with every fault in the grid, and each cell is a
+	// fault classification rather than a performance measurement.
+	Faults *FaultGrid
 }
 
 func (s Spec) validate() error {
@@ -88,6 +151,17 @@ func (s Spec) validate() error {
 	for _, p := range s.Points {
 		if p.Scheme != "" && !p.Scheme.valid() {
 			return fmt.Errorf("campaign %q: point %q: unknown scheme %q", s.Name, p.Label, p.Scheme)
+		}
+	}
+	if s.Faults != nil {
+		if err := s.Faults.validate(s.Name); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if sch := s.scheme(p); sch != SchemeProtected {
+				return fmt.Errorf("campaign %q: point %q: fault campaigns require the protected scheme, got %q",
+					s.Name, p.Label, sch)
+			}
 		}
 	}
 	return nil
@@ -121,6 +195,13 @@ type Run struct {
 	Baseline *paradet.Result
 	// Slowdown is run time over baseline time (WithBaseline).
 	Slowdown float64
+	// Fault identifies the injected fault for fault-campaign cells, and
+	// FaultRec its classified outcome (both nil on performance cells).
+	Fault    *paradet.Fault
+	FaultRec *paradet.FaultRecord
+	// Cached marks cells whose payload was loaded from the result store
+	// instead of simulated.
+	Cached bool
 	// Err records this run's failure; the rest of the sweep continues.
 	Err error
 }

@@ -8,12 +8,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"paradet"
 	"paradet/internal/campaign"
+	"paradet/internal/resultstore"
 )
 
 // Options scales the experiments. The paper simulates full benchmarks in
@@ -25,6 +27,17 @@ type Options struct {
 	Workloads []string
 	// Parallel bounds the sweep worker pool (0 = GOMAXPROCS).
 	Parallel int
+	// Context cancels long sweeps between cells (nil = background).
+	Context context.Context
+	// Store, when non-nil, memoises cells persistently across
+	// processes; re-running an experiment against a warm store
+	// simulates nothing and reproduces stdout byte-identically.
+	Store *resultstore.Store
+	// Progress, when non-nil, observes every completed cell.
+	Progress campaign.ProgressFunc
+	// Stats, when non-nil, accumulates cache/simulation counters
+	// across every sweep an experiment performs.
+	Stats *campaign.Stats
 }
 
 func (o Options) workloads() []string {
@@ -50,10 +63,11 @@ func (o Options) spec(name string, points []campaign.Point, withBaseline bool) c
 	}
 }
 
-// sweep executes a spec and surfaces the first per-run failure, keeping
-// the historical "figN workload: cause" error shape.
-func sweep(spec campaign.Spec) ([]campaign.Run, error) {
-	out, err := campaign.Execute(spec, nil)
+// sweep executes a spec through the store-aware engine and surfaces
+// the first per-run failure, keeping the historical "figN workload:
+// cause" error shape.
+func (o Options) sweep(spec campaign.Spec) ([]campaign.Run, error) {
+	out, err := o.execute(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +78,26 @@ func sweep(spec campaign.Spec) ([]campaign.Run, error) {
 		}
 	}
 	return out.Results, nil
+}
+
+// execute runs one spec, threading the options' context, store and
+// progress callback, and accumulating stats.
+func (o Options) execute(spec campaign.Spec) (*campaign.Outcome, error) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out, err := campaign.ExecuteContext(ctx, spec, nil, campaign.Options{
+		Store:    o.Store,
+		Progress: o.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if o.Stats != nil {
+		o.Stats.Add(out.Stats)
+	}
+	return out, nil
 }
 
 // point wraps a config tweak into a single campaign point.
@@ -86,7 +120,7 @@ type Fig7Row struct {
 // Fig7 reproduces "Normalised slowdown for each benchmark, at standard
 // settings". Paper result: mean 1.75%, max 3.4%.
 func Fig7(o Options) ([]Fig7Row, error) {
-	runs, err := sweep(o.spec("fig7", []campaign.Point{point("tableI", nil)}, true))
+	runs, err := o.sweep(o.spec("fig7", []campaign.Point{point("tableI", nil)}, true))
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +163,7 @@ type Fig8Row struct {
 // plot. Paper: near-normal distributions, mean across benchmarks 770 ns,
 // 99.9% of loads and stores within 5000 ns, max ~21.5 us average.
 func Fig8(o Options) ([]Fig8Row, error) {
-	runs, err := sweep(o.spec("fig8", []campaign.Point{point("tableI", nil)}, false))
+	runs, err := o.sweep(o.spec("fig8", []campaign.Point{point("tableI", nil)}, false))
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +229,7 @@ func freqPoints() []campaign.Point {
 // degrade sharply below 500 MHz; mean delay halves per clock doubling
 // until the segment-fill time dominates.
 func Fig9And11(o Options) ([]FreqRow, error) {
-	runs, err := sweep(o.spec("fig9", freqPoints(), true))
+	runs, err := o.sweep(o.spec("fig9", freqPoints(), true))
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +346,7 @@ type LogRow struct {
 // Paper: <=2% at the default 36 KiB, up to 15% at 3.6 KiB/500.
 func Fig10(o Options) ([]LogRow, error) {
 	// Fig. 10 uses the first four log configurations.
-	runs, err := sweep(o.spec("fig10", logPoints(LogConfigs[:4], true), true))
+	runs, err := o.sweep(o.spec("fig10", logPoints(LogConfigs[:4], true), true))
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +366,7 @@ func Fig10(o Options) ([]LogRow, error) {
 // sparse-memory code (bitcount) suffers huge maxima (250x reduction from
 // a 50k timeout).
 func Fig12(o Options) ([]LogRow, error) {
-	runs, err := sweep(o.spec("fig12", logPoints(LogConfigs, false), false))
+	runs, err := o.sweep(o.spec("fig12", logPoints(LogConfigs, false), false))
 	if err != nil {
 		return nil, err
 	}
@@ -414,7 +448,7 @@ func Fig13(o Options) ([]CoreRow, error) {
 			c.LogBytes = cc.Checkers * 3 * 1024
 		}))
 	}
-	runs, err := sweep(o.spec("fig13", pts, true))
+	runs, err := o.sweep(o.spec("fig13", pts, true))
 	if err != nil {
 		return nil, err
 	}
@@ -486,9 +520,9 @@ type SchemeRow struct {
 // workload: a single campaign whose points differ by scheme. Paper:
 // lockstep = large area+energy; RMT = large energy + performance;
 // desired (this scheme) = small everything.
-func Fig1d(workload string, maxInstrs uint64) ([]SchemeRow, error) {
+func Fig1d(o Options, workload string) ([]SchemeRow, error) {
 	cfg := paradet.DefaultConfig()
-	runs, err := sweep(campaign.Spec{
+	runs, err := o.sweep(campaign.Spec{
 		Name:      "fig1d",
 		Workloads: []string{workload},
 		Points: []campaign.Point{
@@ -496,8 +530,9 @@ func Fig1d(workload string, maxInstrs uint64) ([]SchemeRow, error) {
 			{Label: "rmt", Config: cfg, Scheme: campaign.SchemeRMT},
 			{Label: "paradet", Config: cfg, Scheme: campaign.SchemeProtected},
 		},
-		MaxInstrs:    maxInstrs,
+		MaxInstrs:    o.MaxInstrs,
 		WithBaseline: true,
+		Parallel:     o.Parallel,
 	})
 	if err != nil {
 		return nil, err
@@ -573,7 +608,7 @@ func Sec6D(o Options) ([]Sec6DRow, error) {
 			c.CheckerHz = 1_250_000_000
 		}),
 	}
-	runs, err := sweep(o.spec("sec6d", pts, true))
+	runs, err := o.sweep(o.spec("sec6d", pts, true))
 	if err != nil {
 		return nil, err
 	}
@@ -605,9 +640,170 @@ func RenderSec6D(rows []Sec6DRow) string {
 	return b.String()
 }
 
+// ---- Fault-injection coverage campaign ----
+
+// FaultSchemaVersion versions the fault-campaign JSON format. Bump it
+// on any incompatible change to FaultCampaignReport or FaultCovRow.
+const FaultSchemaVersion = 1
+
+// FaultCovRow is one classified fault-injection cell.
+type FaultCovRow struct {
+	Workload  string  `json:"workload"`
+	Target    string  `json:"target"`
+	Seq       uint64  `json:"seq"`
+	Bit       uint8   `json:"bit"`
+	Sticky    bool    `json:"sticky"`
+	Outcome   string  `json:"outcome"`
+	ErrorKind string  `json:"error_kind,omitempty"`
+	DetectNS  float64 `json:"detect_ns,omitempty"`
+}
+
+// FaultCampaignReport is the schema-stable JSON format for
+// fault-injection campaigns (the ROADMAP's counterpart to the figure
+// rows of -json). The leading Schema field lets consumers reject
+// incompatible revisions.
+type FaultCampaignReport struct {
+	Schema    int      `json:"schema"`
+	Campaign  string   `json:"campaign"`
+	Workloads []string `json:"workloads"`
+	Targets   []string `json:"targets"`
+	Seqs      []uint64 `json:"seqs"`
+	// Bits is []int, not []uint8: encoding/json renders byte slices as
+	// base64, which would not be schema-stable JSON numbers.
+	Bits    []int          `json:"bits"`
+	Sticky  []bool         `json:"sticky"`
+	Records []FaultCovRow  `json:"records"`
+	Counts  map[string]int `json:"counts"`
+	// Coverage is detected / (detected + silent): the fraction of
+	// state-corrupting faults the scheme caught.
+	Coverage float64 `json:"coverage"`
+}
+
+// FaultReportFromOutcome lifts a fault campaign's outcome into the
+// schema-stable report. It fails on the first errored cell.
+func FaultReportFromOutcome(out *campaign.Outcome) (*FaultCampaignReport, error) {
+	grid := out.Spec.Faults
+	if grid == nil {
+		return nil, fmt.Errorf("experiments: campaign %q has no fault dimension", out.Spec.Name)
+	}
+	sticky := grid.Sticky
+	if len(sticky) == 0 {
+		sticky = []bool{false}
+	}
+	rep := &FaultCampaignReport{
+		Schema:    FaultSchemaVersion,
+		Campaign:  out.Spec.Name,
+		Workloads: out.Spec.Workloads,
+		Seqs:      grid.Seqs,
+		Sticky:    sticky,
+		Counts:    map[string]int{},
+	}
+	for _, t := range grid.Targets {
+		rep.Targets = append(rep.Targets, string(t))
+	}
+	for _, b := range grid.Bits {
+		rep.Bits = append(rep.Bits, int(b))
+	}
+	for i := range out.Results {
+		r := &out.Results[i]
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s %s %s {%v}: %w", out.Spec.Name, r.Workload, r.Point.Label, r.Fault, r.Err)
+		}
+		rec := r.FaultRec
+		rep.Records = append(rep.Records, FaultCovRow{
+			Workload:  r.Workload,
+			Target:    string(rec.Fault.Target),
+			Seq:       rec.Fault.Seq,
+			Bit:       rec.Fault.Bit,
+			Sticky:    rec.Fault.Sticky,
+			Outcome:   string(rec.Outcome),
+			ErrorKind: rec.ErrorKind,
+			DetectNS:  rec.DetectNS,
+		})
+		rep.Counts[string(rec.Outcome)]++
+	}
+	det := rep.Counts[string(paradet.OutcomeDetected)]
+	sil := rep.Counts[string(paradet.OutcomeSilent)]
+	rep.Coverage = 1
+	if det+sil > 0 {
+		rep.Coverage = float64(det) / float64(det+sil)
+	}
+	return rep, nil
+}
+
+// DefaultFaultGrid is the faultcov experiment's sweep: every in- and
+// out-of-sphere target at two strike points and two bit positions.
+func DefaultFaultGrid() campaign.FaultGrid {
+	return campaign.FaultGrid{
+		Targets: paradet.FaultTargets(),
+		Seqs:    []uint64{40, 400},
+		Bits:    []uint8{5, 40},
+	}
+}
+
+// FaultCov runs a deterministic fault-injection grid as a first-class
+// campaign. Paper §VI-E: every in-sphere fault that corrupts
+// architectural state is detected; pre-LFU load faults are in the ECC
+// domain and may escape.
+func FaultCov(o Options, grid campaign.FaultGrid) (*FaultCampaignReport, error) {
+	out, err := o.execute(campaign.Spec{
+		Name:      "faultcov",
+		Workloads: o.workloads(),
+		Points:    []campaign.Point{point("tableI", nil)},
+		MaxInstrs: o.MaxInstrs,
+		Parallel:  o.Parallel,
+		Faults:    &grid,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FaultReportFromOutcome(out)
+}
+
+// RenderFaultCov prints the coverage summary plus per-target counts.
+func RenderFaultCov(rep *FaultCampaignReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-injection coverage (schema v%d): %d faults on %s\n",
+		rep.Schema, len(rep.Records), strings.Join(rep.Workloads, ","))
+	b.WriteString("paper §VI-E: all in-sphere state-corrupting faults detected; pre-LFU loads are ECC's problem\n\n")
+
+	type tally struct{ counts map[string]int }
+	byTarget := map[string]*tally{}
+	for _, r := range rep.Records {
+		tl := byTarget[r.Target]
+		if tl == nil {
+			tl = &tally{counts: map[string]int{}}
+			byTarget[r.Target] = tl
+		}
+		tl.counts[r.Outcome]++
+	}
+	outcomes := []string{
+		string(paradet.OutcomeDetected), string(paradet.OutcomeOverDetected),
+		string(paradet.OutcomeMasked), string(paradet.OutcomeSilent),
+	}
+	fmt.Fprintf(&b, "  %-14s", "target")
+	for _, oc := range outcomes {
+		fmt.Fprintf(&b, "%19s", oc)
+	}
+	b.WriteString("\n")
+	for _, t := range rep.Targets {
+		tl := byTarget[t]
+		if tl == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-14s", t)
+		for _, oc := range outcomes {
+			fmt.Fprintf(&b, "%19d", tl.counts[oc])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\n  coverage (detected / state-corrupting): %.3f\n", rep.Coverage)
+	return b.String()
+}
+
 // Names lists the experiment identifiers understood by RunByName.
 func Names() []string {
-	return []string{"fig1d", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "area", "sec6d"}
+	return []string{"fig1d", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "area", "sec6d", "faultcov"}
 }
 
 // Figure bundles one experiment's structured rows with its rendered
@@ -623,7 +819,7 @@ type Figure struct {
 func Generate(name string, o Options) (*Figure, error) {
 	switch name {
 	case "fig1d":
-		rows, err := Fig1d("swaptions", o.MaxInstrs)
+		rows, err := Fig1d(o, "swaptions")
 		if err != nil {
 			return nil, err
 		}
@@ -691,6 +887,17 @@ func Generate(name string, o Options) (*Figure, error) {
 			return nil, err
 		}
 		return &Figure{Name: name, Rows: rows, Text: RenderSec6D(rows)}, nil
+	case "faultcov":
+		o2 := o
+		if len(o2.Workloads) == 0 {
+			// One representative workload: the grid multiplies cells.
+			o2.Workloads = []string{"bitcount"}
+		}
+		rep, err := FaultCov(o2, DefaultFaultGrid())
+		if err != nil {
+			return nil, err
+		}
+		return &Figure{Name: name, Rows: rep, Text: RenderFaultCov(rep)}, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			name, strings.Join(Names(), ", "))

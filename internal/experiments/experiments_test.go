@@ -3,6 +3,10 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"paradet"
+	"paradet/internal/campaign"
+	"paradet/internal/resultstore"
 )
 
 // fastOpts keeps experiment smoke tests quick: two contrasting workloads,
@@ -83,7 +87,7 @@ func TestFig13Runs(t *testing.T) {
 }
 
 func TestFig1dOrdersSchemes(t *testing.T) {
-	rows, err := Fig1d("bitcount", 10000)
+	rows, err := Fig1d(Options{MaxInstrs: 10000}, "bitcount")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,6 +140,60 @@ func TestGenerateCarriesRows(t *testing.T) {
 	}
 	if fig.Text == "" || fig.Name != "fig7" {
 		t.Errorf("figure metadata incomplete: %+v", fig)
+	}
+}
+
+// TestFaultCovClassifiesGrid asserts the fault-coverage experiment
+// produces a versioned, fully classified report, and that re-running
+// it against a warm store simulates nothing while rendering the exact
+// same text (the cmd/experiments -store contract).
+func TestFaultCovClassifiesGrid(t *testing.T) {
+	grid := campaign.FaultGrid{
+		Targets: []paradet.FaultTarget{paradet.FaultDestReg, paradet.FaultStoreValue},
+		Seqs:    []uint64{40},
+		Bits:    []uint8{5},
+	}
+	o := Options{MaxInstrs: 4000, Workloads: []string{"bitcount"}}
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Store = store
+	o.Stats = &campaign.Stats{}
+
+	rep, err := FaultCov(o, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != FaultSchemaVersion {
+		t.Errorf("schema = %d, want %d", rep.Schema, FaultSchemaVersion)
+	}
+	if len(rep.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(rep.Records))
+	}
+	for _, r := range rep.Records {
+		if r.Outcome == "" || r.Outcome == string(paradet.OutcomeSilent) {
+			t.Errorf("fault %s/%d/%d outcome %q", r.Target, r.Seq, r.Bit, r.Outcome)
+		}
+	}
+	first := RenderFaultCov(rep)
+	if !strings.Contains(first, "coverage") {
+		t.Error("rendering must include coverage")
+	}
+	if o.Stats.CellSims == 0 {
+		t.Error("cold run must simulate")
+	}
+
+	o.Stats = &campaign.Stats{}
+	rep2, err := FaultCov(o, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats.CellSims != 0 || o.Stats.BaselineSims != 0 {
+		t.Errorf("warm run simulated: %+v", *o.Stats)
+	}
+	if second := RenderFaultCov(rep2); second != first {
+		t.Errorf("warm rendering differs:\n%s\nvs\n%s", second, first)
 	}
 }
 

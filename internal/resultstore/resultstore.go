@@ -1,0 +1,288 @@
+// Package resultstore is a persistent, content-addressed store for
+// campaign results. Each cell — one simulated (workload, config, scheme
+// [, fault]) combination — is keyed by a stable fingerprint computed
+// from a canonical serialization of its identity, and stored as one
+// JSON file under a sharded directory tree:
+//
+//	<dir>/cells/<fp[:2]>/<fp>.json
+//	<dir>/index.jsonl
+//
+// Fingerprints are SHA-256 over an explicit, field-by-field rendering
+// of the key (never over Go struct memory or field order), prefixed
+// with the engine schema version, so cells survive process restarts
+// and are shared safely between concurrent processes: writes go to a
+// temp file in the target directory and are renamed into place, which
+// is atomic on POSIX filesystems. A cell whose embedded schema version
+// or fingerprint does not match is treated as a miss, never an error —
+// bumping SchemaVersion invalidates every existing cell.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"paradet"
+)
+
+// SchemaVersion is the engine schema version baked into every
+// fingerprint and cell. Bump it whenever the canonical serialization
+// below, the simulator's observable behaviour, or the cell payload
+// shape changes incompatibly; old cells then simply stop hitting.
+const SchemaVersion = 1
+
+// Key identifies one campaign cell. Fingerprints cover every field.
+type Key struct {
+	// Workload is the workload identity (registry name).
+	Workload string
+	// Scheme is the simulated scheme ("protected", "unprotected",
+	// "lockstep", "rmt").
+	Scheme string
+	// Config is the fully resolved simulator configuration. Callers
+	// normalise knobs the scheme ignores (e.g. checker-side fields for
+	// unprotected runs) so equivalent runs share a cell.
+	Config paradet.Config
+	// Fault, when non-nil, marks a fault-injection cell.
+	Fault *paradet.Fault
+}
+
+// configFieldGuard pins the exact field set of paradet.Config that
+// canonicalConfig serializes. If paradet.Config gains, loses, reorders
+// or retypes a field, this conversion stops compiling: update
+// canonicalConfig accordingly and bump SchemaVersion.
+var _ = func(c paradet.Config) {
+	_ = struct {
+		MainCoreHz          uint64
+		CheckerHz           uint64
+		NumCheckers         int
+		LogBytes            int
+		EntryBytes          int
+		TimeoutInstrs       uint64
+		CheckpointCycles    int64
+		InterruptIntervalNS uint64
+		MaxInstrs           uint64
+		DisableCheckers     bool
+		BigCore             bool
+	}(c)
+}
+
+// faultFieldGuard pins the exact field set of paradet.Fault that
+// Key.Canonical serializes, like configFieldGuard does for Config: a
+// new Fault field must be added to the canonical form (with a
+// SchemaVersion bump) or two distinct faults would share a cell.
+var _ = func(f paradet.Fault) {
+	_ = struct {
+		Target    paradet.FaultTarget
+		Seq       uint64
+		Bit       uint8
+		Sticky    bool
+		CheckerID int
+	}(f)
+}
+
+// canonicalConfig renders a Config as ordered key=value lines. The
+// line set and order are part of the schema: any change here without a
+// SchemaVersion bump silently aliases old and new cells, which is why
+// the golden-fingerprint test pins the output.
+func canonicalConfig(c paradet.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "main_core_hz=%d\n", c.MainCoreHz)
+	fmt.Fprintf(&b, "checker_hz=%d\n", c.CheckerHz)
+	fmt.Fprintf(&b, "num_checkers=%d\n", c.NumCheckers)
+	fmt.Fprintf(&b, "log_bytes=%d\n", c.LogBytes)
+	fmt.Fprintf(&b, "entry_bytes=%d\n", c.EntryBytes)
+	fmt.Fprintf(&b, "timeout_instrs=%d\n", c.TimeoutInstrs)
+	fmt.Fprintf(&b, "checkpoint_cycles=%d\n", c.CheckpointCycles)
+	fmt.Fprintf(&b, "interrupt_interval_ns=%d\n", c.InterruptIntervalNS)
+	fmt.Fprintf(&b, "max_instrs=%d\n", c.MaxInstrs)
+	fmt.Fprintf(&b, "disable_checkers=%t\n", c.DisableCheckers)
+	fmt.Fprintf(&b, "big_core=%t\n", c.BigCore)
+	return b.String()
+}
+
+// Canonical renders the key's full canonical serialization, the exact
+// bytes the fingerprint hashes.
+func (k Key) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema=%d\n", SchemaVersion)
+	fmt.Fprintf(&b, "workload=%s\n", k.Workload)
+	fmt.Fprintf(&b, "scheme=%s\n", k.Scheme)
+	b.WriteString(canonicalConfig(k.Config))
+	if f := k.Fault; f != nil {
+		fmt.Fprintf(&b, "fault.target=%s\n", f.Target)
+		fmt.Fprintf(&b, "fault.seq=%d\n", f.Seq)
+		fmt.Fprintf(&b, "fault.bit=%d\n", f.Bit)
+		fmt.Fprintf(&b, "fault.sticky=%t\n", f.Sticky)
+		fmt.Fprintf(&b, "fault.checker_id=%d\n", f.CheckerID)
+	}
+	return b.String()
+}
+
+// Fingerprint returns the hex SHA-256 of the canonical serialization.
+func (k Key) Fingerprint() string {
+	sum := sha256.Sum256([]byte(k.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Cell is one stored result. Exactly one of Result, Baseline and
+// FaultRecord is set, matching the key's scheme and fault dimension.
+type Cell struct {
+	Schema      int            `json:"schema"`
+	Fingerprint string         `json:"fingerprint"`
+	Workload    string         `json:"workload"`
+	Scheme      string         `json:"scheme"`
+	Config      paradet.Config `json:"config"`
+	Fault       *paradet.Fault `json:"fault,omitempty"`
+	// Result holds protected/unprotected runs; Baseline holds
+	// lockstep/RMT runs; FaultRecord holds fault classifications.
+	Result      *paradet.Result         `json:"result,omitempty"`
+	Baseline    *paradet.BaselineResult `json:"baseline_result,omitempty"`
+	FaultRecord *paradet.FaultRecord    `json:"fault_record,omitempty"`
+}
+
+// IndexEntry is one line of the store's append-only index.
+type IndexEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	Workload    string `json:"workload"`
+	Scheme      string `json:"scheme"`
+	Created     string `json:"created"`
+}
+
+// Store is a campaign result store rooted at one directory. A Store
+// handle is safe for concurrent use, and separate processes may share
+// one directory: cell writes are atomic renames and the index is an
+// append-only journal.
+type Store struct {
+	dir string
+}
+
+// Open opens (creating if necessary) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstore: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "cells"), 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path reports where the key's cell lives (whether or not it exists).
+func (s *Store) Path(k Key) string {
+	fp := k.Fingerprint()
+	return filepath.Join(s.dir, "cells", fp[:2], fp+".json")
+}
+
+// Get loads the cell for a key. Missing, unreadable, schema-mismatched
+// or fingerprint-mismatched cells all report a miss (false), so a
+// stale or corrupt store degrades to re-simulation, never to failure.
+func (s *Store) Get(k Key) (*Cell, bool) {
+	data, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		return nil, false
+	}
+	var c Cell
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, false
+	}
+	if c.Schema != SchemaVersion || c.Fingerprint != k.Fingerprint() {
+		return nil, false
+	}
+	return &c, true
+}
+
+// Put stores a cell under its key, filling the schema and fingerprint
+// fields. The cell file is written to a temp file in the target
+// directory and renamed into place, so readers in other processes only
+// ever observe complete cells.
+func (s *Store) Put(k Key, c *Cell) error {
+	c.Schema = SchemaVersion
+	c.Fingerprint = k.Fingerprint()
+	c.Workload = k.Workload
+	c.Scheme = k.Scheme
+	c.Config = k.Config
+	c.Fault = k.Fault
+
+	path := s.Path(k)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	data, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return fmt.Errorf("resultstore: marshal cell: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-cell-*")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.appendIndex(IndexEntry{
+		Fingerprint: c.Fingerprint,
+		Workload:    c.Workload,
+		Scheme:      c.Scheme,
+		Created:     time.Now().UTC().Format(time.RFC3339),
+	})
+	return nil
+}
+
+// appendIndex journals one entry. The index is advisory (Get never
+// consults it), so failures are ignored: a lost line costs listing
+// completeness, not correctness. Single small O_APPEND writes keep
+// concurrent processes from interleaving within a line.
+func (s *Store) appendIndex(e IndexEntry) {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, "index.jsonl"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	f.Write(append(line, '\n'))
+}
+
+// Index reads the append-only index. Unparseable lines are skipped.
+func (s *Store) Index() ([]IndexEntry, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, "index.jsonl"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	var out []IndexEntry
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e IndexEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
