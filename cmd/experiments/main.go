@@ -11,13 +11,22 @@
 //	experiments -workloads stream,randacc
 //	experiments -parallel 4     # bound the sweep worker pool
 //	experiments -run fig7 -json # machine-readable rows on stdout
+//	experiments -run fig7 -csv  # flat CSV rows for spreadsheets
 //	experiments -store .pdstore # persist results; re-runs skip hits
 //	experiments -store .pdstore -no-cache   # ignore the store this run
 //	experiments -run faultcov -json         # fault campaign, schema-stable JSON
+//	experiments -run fig7 -shard 0/3 -store shard0  # this host's third of the grid
 //
 // Output on stdout is deterministic: -parallel N produces bytes
 // identical to -parallel 1, and a -store re-run produces bytes
 // identical to the storeless path (cache traffic goes to stderr).
+//
+// Sharding: -shard i/n executes only the i-th of n deterministic
+// slices of each sweep's grid, so n hosts split one campaign into
+// their own -store directories. `pdstore merge` folds the shard stores
+// into one; re-running without -shard against the merged store then
+// assembles the full sweep with zero simulations and stdout
+// byte-identical to a single-host run.
 package main
 
 import (
@@ -42,10 +51,17 @@ func main() {
 	wl := flag.String("workloads", "", "comma-separated workload subset (default: all nine)")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit structured JSON rows instead of text tables")
+	csvOut := flag.Bool("csv", false, "emit flat CSV rows instead of text tables")
 	storeDir := flag.String("store", "", "campaign result store directory (cells persist across runs)")
 	noCache := flag.Bool("no-cache", false, "ignore -store: simulate everything, write nothing")
 	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
+	shardArg := flag.String("shard", "", "execute one slice i/n of every sweep's grid (e.g. 0/3); merge the shard stores with pdstore")
 	flag.Parse()
+
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(os.Stderr, "experiments: -json and -csv are mutually exclusive")
+		os.Exit(1)
+	}
 
 	// Ctrl-C cancels between cells; finished cells stay in the store.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -60,6 +76,14 @@ func main() {
 	}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
+	}
+	if *shardArg != "" {
+		sh, err := campaign.ParseShard(*shardArg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Shard = &sh
 	}
 	if *storeDir != "" && !*noCache {
 		st, err := resultstore.Open(*storeDir)
@@ -99,7 +123,7 @@ func main() {
 			os.Exit(1)
 		}
 		simTime += time.Since(start)
-		if *jsonOut {
+		if *jsonOut || *csvOut {
 			figures = append(figures, fig)
 		} else {
 			fmt.Println(fig.Text)
@@ -112,12 +136,22 @@ func main() {
 	fmt.Fprintf(os.Stderr, "cache: cells=%d hits=%d misses=%d baseline-sims=%d sim-time=%.1fs\n",
 		stats.Cells, stats.CellHits+stats.BaselineHits, stats.CellSims+stats.BaselineSims,
 		stats.BaselineSims, simTime.Seconds())
+	if opts.Shard != nil {
+		fmt.Fprintf(os.Stderr, "shard %s: executed %d of %d cells (%d owned elsewhere)\n",
+			opts.Shard, stats.ShardCells, stats.Cells, stats.ShardSkipped)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(figures); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: encode: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *csvOut {
+		if err := experiments.WriteCSV(os.Stdout, figures); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -16,6 +16,12 @@
 //
 //	hetsim -workload bitcount -fault-targets dest-reg,store-value \
 //	    -fault-seqs 40,400 -fault-bits 5,40 -store .pdstore -json
+//
+// A fault campaign splits across hosts with -shard i/n: each host
+// executes a disjoint slice of the grid into its own -store, `pdstore
+// merge` folds the stores together, and re-running without -shard
+// against the merged store emits the full report with zero
+// simulations.
 package main
 
 import (
@@ -51,6 +57,7 @@ func main() {
 	faultSticky := flag.Bool("fault-sticky", false, "fault campaign: also sweep hard (sticky) faults")
 	jsonOut := flag.Bool("json", false, "fault campaign: emit schema-stable JSON instead of text")
 	storeDir := flag.String("store", "", "fault campaign: persistent result store directory")
+	shardArg := flag.String("shard", "", "fault campaign: execute one slice i/n of the grid (e.g. 0/3)")
 	flag.Parse()
 
 	if *list {
@@ -77,13 +84,24 @@ func main() {
 		if *workload == "" {
 			fail(fmt.Errorf("fault campaigns need -workload (the campaign engine loads by name)"))
 		}
+		var shard *campaign.Shard
+		if *shardArg != "" {
+			sh, err := campaign.ParseShard(*shardArg)
+			if err != nil {
+				fail(err)
+			}
+			shard = &sh
+		}
 		err := runFaultCampaign(*workload, cfg, faultGridArgs{
 			targets: *faultTargets, seqs: *faultSeqs, bits: *faultBits, sticky: *faultSticky,
-		}, *storeDir, *jsonOut)
+		}, *storeDir, *jsonOut, shard)
 		if err != nil {
 			fail(err)
 		}
 		return
+	}
+	if *shardArg != "" {
+		fail(fmt.Errorf("-shard only applies to fault campaigns (-fault-targets)"))
 	}
 
 	prog, name, def, err := loadProgram(*workload, *asmFile)
@@ -201,13 +219,15 @@ func parseGrid(a faultGridArgs) (campaign.FaultGrid, error) {
 }
 
 // runFaultCampaign executes the fault grid as a campaign spec and
-// prints either the text summary or the versioned JSON report.
-func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, storeDir string, jsonOut bool) error {
+// prints either the text summary or the versioned JSON report. A
+// non-nil shard restricts it to that slice of the grid (the report
+// then only covers the shard's cells).
+func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, storeDir string, jsonOut bool, shard *campaign.Shard) error {
 	grid, err := parseGrid(args)
 	if err != nil {
 		return err
 	}
-	var opts campaign.Options
+	opts := campaign.Options{Shard: shard}
 	if storeDir != "" {
 		st, err := resultstore.Open(storeDir)
 		if err != nil {
@@ -235,6 +255,10 @@ func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, s
 	fmt.Fprintf(os.Stderr, "cache: cells=%d hits=%d misses=%d baseline-sims=%d\n",
 		out.Stats.Cells, out.Stats.CellHits+out.Stats.BaselineHits,
 		out.Stats.CellSims+out.Stats.BaselineSims, out.Stats.BaselineSims)
+	if shard != nil {
+		fmt.Fprintf(os.Stderr, "shard %s: executed %d of %d cells (%d owned elsewhere)\n",
+			shard, out.Stats.ShardCells, out.Stats.Cells, out.Stats.ShardSkipped)
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

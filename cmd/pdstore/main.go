@@ -1,0 +1,203 @@
+// Command pdstore inspects and maintains campaign result stores
+// (internal/resultstore directories written by cmd/experiments and
+// cmd/hetsim via -store).
+//
+// Usage:
+//
+//	pdstore merge -into merged shard0 shard1 shard2
+//	pdstore stats .pdstore
+//	pdstore gc -older-than 720h .pdstore
+//	pdstore gc -older-than 720h -dry-run .pdstore
+//	pdstore verify .pdstore
+//
+// merge folds per-shard stores into one: cells missing from the
+// destination are copied, duplicate fingerprints are deduplicated,
+// corrupt cells are skipped with a warning, cross-SchemaVersion stores
+// are refused, and the destination index is rebuilt from the merged
+// cell tree. Re-running the campaign against the merged store with
+// -store then assembles the full sweep at zero simulation cost.
+//
+// stats reports the per-scheme footprint (cells, fault cells, bytes)
+// plus index health. gc ages out cells not written since -older-than
+// ago and rebuilds the index; everything it removes simply
+// re-simulates on next use. verify checks every cell's fingerprint
+// against its content and the index against the tree, exiting 1 on
+// any inconsistency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"paradet/internal/resultstore"
+)
+
+const usage = `pdstore maintains campaign result stores (-store directories).
+
+Usage:
+
+  pdstore merge -into DIR SRC [SRC...]   fold source stores into DIR
+  pdstore stats DIR                      per-scheme footprint + index health
+  pdstore gc -older-than DUR [-dry-run] DIR
+                                         age out cells (e.g. -older-than 720h)
+  pdstore verify DIR                     check fingerprints and index; exit 1 on damage
+
+Examples (sharding a sweep across 3 hosts):
+
+  experiments -run fig7 -shard 0/3 -store shard0    # on host 0, etc.
+  pdstore merge -into merged shard0 shard1 shard2
+  experiments -run fig7 -store merged               # assembles: zero simulations
+`
+
+func main() {
+	flag.Usage = func() { fmt.Fprint(os.Stderr, usage) }
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "merge":
+		err = runMerge(args[1:])
+	case "stats":
+		err = runStats(args[1:])
+	case "gc":
+		err = runGC(args[1:])
+	case "verify":
+		err = runVerify(args[1:])
+	case "help", "-h", "--help":
+		fmt.Print(usage)
+	default:
+		fmt.Fprintf(os.Stderr, "pdstore: unknown subcommand %q\n\n%s", args[0], usage)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdstore:", err)
+		os.Exit(1)
+	}
+}
+
+// open opens an existing store, refusing to invent one: every pdstore
+// subcommand except the merge destination operates on stores some
+// campaign already wrote.
+func open(dir string) (*resultstore.Store, error) {
+	if fi, err := os.Stat(dir); err != nil {
+		return nil, err
+	} else if !fi.IsDir() {
+		return nil, fmt.Errorf("%s is not a directory", dir)
+	}
+	return resultstore.Open(dir)
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	into := fs.String("into", "", "destination store directory (created if missing)")
+	fs.Parse(args)
+	if *into == "" || fs.NArg() == 0 {
+		return fmt.Errorf("merge: want -into DIR and at least one source store")
+	}
+	dst, err := resultstore.Open(*into)
+	if err != nil {
+		return err
+	}
+	srcs := make([]*resultstore.Store, 0, fs.NArg())
+	for _, dir := range fs.Args() {
+		src, err := open(dir)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, src)
+	}
+	st, err := resultstore.Merge(dst, srcs...)
+	for _, w := range st.Warnings {
+		fmt.Fprintln(os.Stderr, "pdstore: warning:", w)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(st)
+	return nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats: want exactly one store directory")
+	}
+	s, err := open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fp, err := s.Footprint()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d cells, %.1f KiB\n", s.Dir(), fp.Cells, float64(fp.Bytes)/1024)
+	fmt.Printf("  %-14s %8s %8s %10s\n", "scheme", "cells", "faults", "KiB")
+	for _, row := range fp.Schemes {
+		fmt.Printf("  %-14s %8d %8d %10.1f\n", row.Scheme, row.Cells, row.Faults, float64(row.Bytes)/1024)
+	}
+	fmt.Printf("  index: %d entries", fp.IndexEntries)
+	if fp.IndexEntries != fp.Cells {
+		fmt.Printf(" (tree has %d cells; run gc or merge to rebuild)", fp.Cells)
+	}
+	fmt.Println()
+	if fp.Corrupt > 0 {
+		fmt.Printf("  corrupt: %d unreadable cell file(s) (run verify for detail)\n", fp.Corrupt)
+	}
+	return nil
+}
+
+func runGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	olderThan := fs.Duration("older-than", 0, "age out cells not written for this long (e.g. 720h = 30 days)")
+	dry := fs.Bool("dry-run", false, "report what would be removed without touching the store")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *olderThan <= 0 {
+		return fmt.Errorf("gc: want -older-than DUR and exactly one store directory")
+	}
+	s, err := open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st, err := s.GC(time.Now().Add(-*olderThan), *dry)
+	if err != nil {
+		return err
+	}
+	verb := "removed"
+	if *dry {
+		verb = "would remove"
+	}
+	fmt.Printf("%s: scanned %d cells, %s %d (%.1f KiB), kept %d\n",
+		s.Dir(), st.Scanned, verb, st.Removed, float64(st.RemovedBytes)/1024, st.Kept)
+	return nil
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify: want exactly one store directory")
+	}
+	s, err := open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := s.Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d cells, %d consistent\n", s.Dir(), rep.Cells, rep.Good)
+	for _, p := range rep.Problems {
+		fmt.Println("  problem:", p)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("verify: %d problem(s)", len(rep.Problems))
+	}
+	return nil
+}

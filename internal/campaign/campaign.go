@@ -29,6 +29,11 @@ type Stats struct {
 	BaselineSims int
 	// BaselineHits counts reference results loaded from the store.
 	BaselineHits int
+	// ShardCells counts cells owned (executed or store-served) by this
+	// execution's shard; equals Cells when no shard filter is set.
+	ShardCells int
+	// ShardSkipped counts cells excluded by the shard filter.
+	ShardSkipped int
 }
 
 // Add accumulates another campaign's counters, keeping the field list
@@ -39,13 +44,19 @@ func (s *Stats) Add(o Stats) {
 	s.CellSims += o.CellSims
 	s.BaselineSims += o.BaselineSims
 	s.BaselineHits += o.BaselineHits
+	s.ShardCells += o.ShardCells
+	s.ShardSkipped += o.ShardSkipped
 }
 
 // Outcome is a completed campaign: one Run per (workload, point[,
 // fault]) cell, in spec order (workload-major, then point, then
 // fault), independent of worker scheduling.
 type Outcome struct {
-	Spec    Spec
+	Spec Spec
+	// Shard records the shard filter the campaign executed under (nil
+	// = the full grid), so reports built from a sharded outcome can
+	// mark themselves partial.
+	Shard   *Shard
 	Results []Run
 	Stats   Stats
 	// BaselineSims mirrors Stats.BaselineSims: distinct reference
@@ -98,6 +109,12 @@ type Options struct {
 	Store *resultstore.Store
 	// Progress, when non-nil, is invoked after every cell.
 	Progress ProgressFunc
+	// Shard, when non-nil, restricts execution to the shard's slice of
+	// the expanded grid: cells outside it are marked Run.Skipped and
+	// never simulated or loaded, so N processes with disjoint shards
+	// split one sweep. The spec itself is untouched — Assemble later
+	// re-executes it unsharded against the merged stores.
+	Shard *Shard
 }
 
 // counters aggregates engine statistics across workers.
@@ -293,6 +310,11 @@ func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options)
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	if opts.Shard != nil {
+		if err := opts.Shard.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign %q: %w", spec.Name, err)
+		}
+	}
 
 	// Load every workload once, up front and in spec order; runs share
 	// the assembled (read-only) program.
@@ -319,7 +341,7 @@ func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options)
 		faults = spec.Faults.Faults()
 		nf = len(faults)
 	}
-	out := &Outcome{Spec: spec, Results: make([]Run, len(spec.Workloads)*len(spec.Points)*nf)}
+	out := &Outcome{Spec: spec, Shard: opts.Shard, Results: make([]Run, len(spec.Workloads)*len(spec.Points)*nf)}
 	for i, name := range spec.Workloads {
 		for j, pt := range spec.Points {
 			for k := 0; k < nf; k++ {
@@ -337,16 +359,28 @@ func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options)
 		}
 	}
 
+	// A shard owns every cell whose spec-order index falls on it;
+	// round-robin assignment balances workloads and points across
+	// shards. Unowned cells are marked Skipped and never touched.
+	owned := make([]int, 0, len(out.Results))
+	for i := range out.Results {
+		if opts.Shard != nil && !opts.Shard.owns(i) {
+			out.Results[i].Skipped = true
+			continue
+		}
+		owned = append(owned, i)
+	}
+
 	eng := &engine{
 		sim:      sim,
 		store:    opts.Store,
 		ctrs:     &counters{},
 		progress: opts.Progress,
-		total:    len(out.Results),
+		total:    len(owned),
 	}
 	eng.cache = newRefCache(sim, opts.Store, eng.ctrs)
-	forEach(spec.Parallel, len(out.Results), func(i int) {
-		r := &out.Results[i]
+	forEach(spec.Parallel, len(owned), func(n int) {
+		r := &out.Results[owned[n]]
 		l := progs[r.Workload]
 		switch {
 		case ctx.Err() != nil:
@@ -359,6 +393,8 @@ func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options)
 		eng.report(r)
 	})
 	out.Stats = eng.ctrs.stats(len(out.Results))
+	out.Stats.ShardCells = len(owned)
+	out.Stats.ShardSkipped = len(out.Results) - len(owned)
 	out.BaselineSims = out.Stats.BaselineSims
 	return out, ctx.Err()
 }

@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"paradet/internal/resultstore"
+)
+
+// Shard deterministically selects a 1/Count slice of a campaign's
+// expanded run grid so N hosts can split one sweep. Cells are assigned
+// round-robin over the spec-order cell index (workload-major, then
+// point, then fault): shard i of n owns every cell whose index ≡ i
+// (mod n). The assignment depends only on the spec, never on worker
+// scheduling, so the same (i, n) always names the same cells, the n
+// shards are pairwise disjoint, and their union is the full grid.
+//
+// Each shard executes its slice into its own (or a shared) result
+// store; resultstore.Merge recombines per-shard stores, and Assemble
+// re-executes the full spec against the merged store to produce the
+// single-host outcome without simulating anything.
+type Shard struct {
+	// Index is this shard's position, 0 <= Index < Count.
+	Index int
+	// Count is the total number of shards.
+	Count int
+}
+
+// ParseShard parses the CLI shard syntax "i/n" (e.g. "0/3").
+func ParseShard(s string) (Shard, error) {
+	idx, count, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("shard %q: want i/n (e.g. 0/3)", s)
+	}
+	i, err := strconv.Atoi(strings.TrimSpace(idx))
+	if err != nil {
+		return Shard{}, fmt.Errorf("shard %q: index: %w", s, err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(count))
+	if err != nil {
+		return Shard{}, fmt.Errorf("shard %q: count: %w", s, err)
+	}
+	sh := Shard{Index: i, Count: n}
+	return sh, sh.Validate()
+}
+
+// String renders the shard in the CLI "i/n" syntax.
+func (s Shard) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// Validate rejects impossible shards.
+func (s Shard) Validate() error {
+	if s.Count < 1 {
+		return fmt.Errorf("shard %d/%d: count must be >= 1", s.Index, s.Count)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("shard %d/%d: index out of range [0, %d)", s.Index, s.Count, s.Count)
+	}
+	return nil
+}
+
+// owns reports whether cell index i belongs to this shard.
+func (s Shard) owns(i int) bool { return i%s.Count == s.Index }
+
+// Assemble re-executes the full (unsharded) spec against a warm store
+// — typically the resultstore.Merge of per-shard stores — and requires
+// every cell and reference run to be served from it: the merged shards
+// must add up to the whole grid. Any simulation means the store is
+// incomplete, and Assemble returns an error naming the first cell that
+// missed. On success the outcome is identical to a single-host run of
+// the spec, in spec order, at zero simulation cost.
+func Assemble(ctx context.Context, spec Spec, sim Simulator, store *resultstore.Store) (*Outcome, error) {
+	if store == nil {
+		return nil, fmt.Errorf("campaign %q: assemble needs a store", spec.Name)
+	}
+	out, err := ExecuteContext(ctx, spec, sim, Options{Store: store})
+	if err != nil {
+		return out, err
+	}
+	if err := out.Err(); err != nil {
+		return out, err
+	}
+	if sims := out.Stats.CellSims + out.Stats.BaselineSims; sims > 0 {
+		first := "(reference run)"
+		for i := range out.Results {
+			if r := &out.Results[i]; !r.Cached {
+				first = fmt.Sprintf("%s/%s[%s]", r.Workload, r.Point.Label, r.Scheme)
+				break
+			}
+		}
+		return out, fmt.Errorf("campaign %q: assembly simulated %d of %d cells (store %s incomplete; first miss %s)",
+			spec.Name, sims, out.Stats.Cells, store.Dir(), first)
+	}
+	return out, nil
+}

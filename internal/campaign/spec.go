@@ -202,6 +202,9 @@ type Run struct {
 	// Cached marks cells whose payload was loaded from the result store
 	// instead of simulated.
 	Cached bool
+	// Skipped marks cells excluded by Options.Shard: another shard owns
+	// them, so they carry no payload and no error.
+	Skipped bool
 	// Err records this run's failure; the rest of the sweep continues.
 	Err error
 }

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// WriteCSV renders figures as CSV for spreadsheet pipelines, the flat
+// counterpart of cmd/experiments -json. Each figure is one CSV block —
+// a header row ("figure" plus the snake_cased scalar fields of the
+// figure's row type) followed by one line per row — and blocks are
+// separated by a blank line, since different figures have different
+// columns. Non-scalar fields (e.g. Fig. 8's density samples) are
+// omitted; the JSON output carries them. Output is deterministic:
+// floats render at full precision with strconv's shortest form.
+func WriteCSV(w io.Writer, figs []*Figure) error {
+	for i, fig := range figs {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := writeFigureCSV(w, fig); err != nil {
+			return fmt.Errorf("experiments: csv %s: %w", fig.Name, err)
+		}
+	}
+	return nil
+}
+
+// writeFigureCSV emits one figure's header and rows.
+func writeFigureCSV(w io.Writer, fig *Figure) error {
+	rows, err := csvRows(fig)
+	if err != nil {
+		return err
+	}
+	elem := rows.Type().Elem()
+	var cols []int
+	header := []string{"figure"}
+	for i := 0; i < elem.NumField(); i++ {
+		f := elem.Field(i)
+		if !f.IsExported() || !scalarKind(f.Type.Kind()) {
+			continue
+		}
+		cols = append(cols, i)
+		header = append(header, snakeCase(f.Name))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	record := make([]string, 0, len(header))
+	for r := 0; r < rows.Len(); r++ {
+		row := rows.Index(r)
+		record = append(record[:0], fig.Name)
+		for _, i := range cols {
+			record = append(record, formatScalar(row.Field(i)))
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// csvRows normalises a figure's Rows into a slice of structs: fault
+// campaigns flatten to their records, single-struct figures (area)
+// become one-row slices.
+func csvRows(fig *Figure) (reflect.Value, error) {
+	rows := fig.Rows
+	if rep, ok := rows.(*FaultCampaignReport); ok {
+		rows = rep.Records
+	}
+	v := reflect.ValueOf(rows)
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return reflect.Value{}, fmt.Errorf("nil rows")
+		}
+		v = v.Elem()
+	}
+	switch v.Kind() {
+	case reflect.Slice:
+		if v.Type().Elem().Kind() != reflect.Struct {
+			return reflect.Value{}, fmt.Errorf("rows are %s, want structs", v.Type())
+		}
+		return v, nil
+	case reflect.Struct:
+		s := reflect.MakeSlice(reflect.SliceOf(v.Type()), 0, 1)
+		return reflect.Append(s, v), nil
+	default:
+		return reflect.Value{}, fmt.Errorf("rows are %s, want a struct slice", v.Type())
+	}
+}
+
+func scalarKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Bool, reflect.String,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return true
+	}
+	return false
+}
+
+func formatScalar(v reflect.Value) string {
+	switch v.Kind() {
+	case reflect.Bool:
+		return strconv.FormatBool(v.Bool())
+	case reflect.String:
+		return v.String()
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.FormatInt(v.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return strconv.FormatUint(v.Uint(), 10)
+	case reflect.Float32, reflect.Float64:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	}
+	return ""
+}
+
+// snakeCase converts a Go field name to a spreadsheet-friendly column
+// name: MeanNS -> mean_ns, FracBelow5us -> frac_below5us.
+func snakeCase(s string) string {
+	var b strings.Builder
+	rs := []rune(s)
+	for i, r := range rs {
+		if unicode.IsUpper(r) {
+			if i > 0 && (!unicode.IsUpper(rs[i-1]) || (i+1 < len(rs) && unicode.IsLower(rs[i+1]))) {
+				b.WriteByte('_')
+			}
+			r = unicode.ToLower(r)
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteCSVGolden pins the CSV export format: header shape, column
+// naming, float rendering, block separation. If this test fails the
+// format changed — spreadsheet pipelines downstream parse these exact
+// columns, so change it deliberately.
+func TestWriteCSVGolden(t *testing.T) {
+	figs := []*Figure{
+		{Name: "fig7", Rows: []Fig7Row{
+			{Workload: "bitcount", Slowdown: 1.0175},
+			{Workload: "stream", Slowdown: 1.034},
+		}},
+		{Name: "fig9", Rows: []FreqRow{
+			{Workload: "randacc", FreqHz: 500_000_000, Slowdown: 1.25, MeanNS: 770.5, MaxNS: 21500},
+		}},
+	}
+	const want = `figure,workload,slowdown
+fig7,bitcount,1.0175
+fig7,stream,1.034
+
+figure,workload,freq_hz,slowdown,mean_ns,max_ns
+fig9,randacc,500000000,1.25,770.5,21500
+`
+	var b strings.Builder
+	if err := WriteCSV(&b, figs); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("csv drifted:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestWriteCSVFaultReport asserts fault campaigns flatten to their
+// records and skip nothing scalar.
+func TestWriteCSVFaultReport(t *testing.T) {
+	rep := &FaultCampaignReport{
+		Schema: FaultSchemaVersion,
+		Records: []FaultCovRow{
+			{Workload: "bitcount", Target: "dest-reg", Seq: 40, Bit: 5, Outcome: "detected", ErrorKind: "reg", DetectNS: 123.5},
+		},
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, []*Figure{{Name: "faultcov", Rows: rep}}); err != nil {
+		t.Fatal(err)
+	}
+	const want = `figure,workload,target,seq,bit,sticky,outcome,error_kind,detect_ns
+faultcov,bitcount,dest-reg,40,5,false,detected,reg,123.5
+`
+	if b.String() != want {
+		t.Errorf("fault csv drifted:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestWriteCSVSingleStructRows asserts non-slice figures (the "area"
+// analytic report) export as one row, and non-scalar columns (Fig. 8's
+// density samples) are omitted.
+func TestWriteCSVSingleStructRows(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []*Figure{
+		{Name: "fig8", Rows: []Fig8Row{{Workload: "stream", MeanNS: 770, MaxNS: 21500, FracBelow5us: 0.999}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if strings.Contains(got, "density") {
+		t.Errorf("non-scalar column exported:\n%s", got)
+	}
+	if !strings.HasPrefix(got, "figure,workload,mean_ns,max_ns,frac_below5us\n") {
+		t.Errorf("fig8 header drifted:\n%s", got)
+	}
+
+	// Every real experiment row type must export without error.
+	for _, name := range []string{"area"} {
+		fig, err := Generate(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := WriteCSV(&out, []*Figure{fig}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if !strings.Contains(out.String(), "area_overhead") {
+			t.Errorf("area csv missing columns:\n%s", out.String())
+		}
+	}
+}

@@ -38,6 +38,12 @@ type Options struct {
 	// Stats, when non-nil, accumulates cache/simulation counters
 	// across every sweep an experiment performs.
 	Stats *campaign.Stats
+	// Shard, when non-nil, restricts every sweep to its slice of the
+	// expanded grid (cmd/experiments -shard i/n). Sharded runs exist to
+	// populate a store, not to render figures: rows for cells another
+	// shard owns are simply absent, and the full figures come from
+	// re-running unsharded against the merged store.
+	Shard *campaign.Shard
 }
 
 func (o Options) workloads() []string {
@@ -65,19 +71,26 @@ func (o Options) spec(name string, points []campaign.Point, withBaseline bool) c
 
 // sweep executes a spec through the store-aware engine and surfaces
 // the first per-run failure, keeping the historical "figN workload:
-// cause" error shape.
+// cause" error shape. Cells another shard owns are dropped: they carry
+// no payload, and figure rows must only reflect cells this execution
+// actually produced.
 func (o Options) sweep(spec campaign.Spec) ([]campaign.Run, error) {
 	out, err := o.execute(spec)
 	if err != nil {
 		return nil, err
 	}
+	runs := make([]campaign.Run, 0, len(out.Results))
 	for i := range out.Results {
 		r := &out.Results[i]
+		if r.Skipped {
+			continue
+		}
 		if r.Err != nil {
 			return nil, fmt.Errorf("%s %s %s: %w", spec.Name, r.Workload, r.Point.Label, r.Err)
 		}
+		runs = append(runs, *r)
 	}
-	return out.Results, nil
+	return runs, nil
 }
 
 // execute runs one spec, threading the options' context, store and
@@ -90,6 +103,7 @@ func (o Options) execute(spec campaign.Spec) (*campaign.Outcome, error) {
 	out, err := campaign.ExecuteContext(ctx, spec, nil, campaign.Options{
 		Store:    o.Store,
 		Progress: o.Progress,
+		Shard:    o.Shard,
 	})
 	if err != nil {
 		return nil, err
@@ -144,7 +158,9 @@ func RenderFig7(rows []Fig7Row) string {
 			max = r.Slowdown
 		}
 	}
-	fmt.Fprintf(&b, "  %-14s %.4f (max %.4f)\n", "MEAN", sum/float64(len(rows)), max)
+	if len(rows) > 0 { // a shard may own none of this figure's cells
+		fmt.Fprintf(&b, "  %-14s %.4f (max %.4f)\n", "MEAN", sum/float64(len(rows)), max)
+	}
 	return b.String()
 }
 
@@ -193,7 +209,9 @@ func RenderFig8(rows []Fig8Row) string {
 			r.Workload, r.MeanNS, r.MaxNS, r.FracBelow5us*100)
 		meanSum += r.MeanNS
 	}
-	fmt.Fprintf(&b, "  %-14s %10.0f\n", "MEAN", meanSum/float64(len(rows)))
+	if len(rows) > 0 { // a shard may own none of this figure's cells
+		fmt.Fprintf(&b, "  %-14s %10.0f\n", "MEAN", meanSum/float64(len(rows)))
+	}
 	return b.String()
 }
 
@@ -663,8 +681,12 @@ type FaultCovRow struct {
 // rows of -json). The leading Schema field lets consumers reject
 // incompatible revisions.
 type FaultCampaignReport struct {
-	Schema    int      `json:"schema"`
-	Campaign  string   `json:"campaign"`
+	Schema   int    `json:"schema"`
+	Campaign string `json:"campaign"`
+	// Shard marks a partial report: the grid fields below describe the
+	// full campaign, but Records and Coverage cover only the "i/n"
+	// slice named here. Empty for full (or assembled) campaigns.
+	Shard     string   `json:"shard,omitempty"`
 	Workloads []string `json:"workloads"`
 	Targets   []string `json:"targets"`
 	Seqs      []uint64 `json:"seqs"`
@@ -698,6 +720,9 @@ func FaultReportFromOutcome(out *campaign.Outcome) (*FaultCampaignReport, error)
 		Sticky:    sticky,
 		Counts:    map[string]int{},
 	}
+	if out.Shard != nil {
+		rep.Shard = out.Shard.String()
+	}
 	for _, t := range grid.Targets {
 		rep.Targets = append(rep.Targets, string(t))
 	}
@@ -706,6 +731,9 @@ func FaultReportFromOutcome(out *campaign.Outcome) (*FaultCampaignReport, error)
 	}
 	for i := range out.Results {
 		r := &out.Results[i]
+		if r.Skipped {
+			continue // another shard owns this cell
+		}
 		if r.Err != nil {
 			return nil, fmt.Errorf("%s %s %s {%v}: %w", out.Spec.Name, r.Workload, r.Point.Label, r.Fault, r.Err)
 		}
@@ -765,6 +793,9 @@ func RenderFaultCov(rep *FaultCampaignReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fault-injection coverage (schema v%d): %d faults on %s\n",
 		rep.Schema, len(rep.Records), strings.Join(rep.Workloads, ","))
+	if rep.Shard != "" {
+		fmt.Fprintf(&b, "PARTIAL: shard %s of the grid; merge the shard stores and re-run to assemble\n", rep.Shard)
+	}
 	b.WriteString("paper §VI-E: all in-sphere state-corrupting faults detected; pre-LFU loads are ECC's problem\n\n")
 
 	type tally struct{ counts map[string]int }

@@ -1,0 +1,365 @@
+package resultstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Merge copies every cell the destination store is missing out of the
+// source stores, in order. It is the recombination step for sharded
+// campaigns: N shards execute disjoint grid slices into their own
+// stores, Merge folds them into one, and campaign.Assemble replays the
+// full spec against the result at zero simulation cost.
+//
+// Cells already present in the destination are deduplicated by
+// fingerprint (content addressing makes the copies interchangeable).
+// Unreadable or fingerprint-inconsistent source cells are skipped with
+// a warning, never an error. A parseable source cell carrying a
+// different SchemaVersion refuses the whole merge before anything is
+// copied: its store belongs to an incompatible engine, and folding it
+// in would bury cells that can never hit. The destination index is
+// rebuilt from the merged cell tree afterwards.
+func Merge(dst *Store, srcs ...*Store) (MergeStats, error) {
+	var st MergeStats
+	st.Sources = len(srcs)
+
+	// Refuse cross-schema merges up front, before any copy: merging is
+	// additive, but a half-applied refusal is still confusing.
+	for _, src := range srcs {
+		if sameDir(dst.dir, src.dir) {
+			return st, fmt.Errorf("resultstore: merge source %s is the destination", src.dir)
+		}
+		files, err := src.cellFiles()
+		if err != nil {
+			return st, err
+		}
+		for _, path := range files {
+			c, _, ok := readCell(path)
+			if !ok {
+				continue // counted (and warned about) during the copy pass
+			}
+			if c.Schema != SchemaVersion {
+				return st, fmt.Errorf("resultstore: %s has schema %d, this engine writes schema %d: refusing cross-schema merge",
+					path, c.Schema, SchemaVersion)
+			}
+		}
+	}
+
+	for _, src := range srcs {
+		files, err := src.cellFiles()
+		if err != nil {
+			return st, err
+		}
+		for _, path := range files {
+			c, data, ok := readCell(path)
+			if !ok || !c.consistent(path) {
+				st.Corrupt++
+				st.Warnings = append(st.Warnings, fmt.Sprintf("skipping corrupt cell %s", path))
+				continue
+			}
+			target := filepath.Join(dst.dir, "cells", c.Fingerprint[:2], c.Fingerprint+".json")
+			if existing, _, ok := readCell(target); ok && existing.consistent(target) {
+				st.Dups++
+				continue
+			}
+			if err := writeFileAtomic(target, data); err != nil {
+				return st, err
+			}
+			st.Copied++
+		}
+	}
+
+	var err error
+	st.Indexed, err = dst.RebuildIndex()
+	return st, err
+}
+
+// MergeStats reports what a Merge did.
+type MergeStats struct {
+	// Sources is the number of source stores.
+	Sources int
+	// Copied counts cells copied into the destination.
+	Copied int
+	// Dups counts source cells whose fingerprint the destination
+	// already held (overlapping shards, re-merged stores).
+	Dups int
+	// Corrupt counts unreadable or inconsistent source cells skipped.
+	Corrupt int
+	// Indexed is the destination's cell count after the index rebuild.
+	Indexed int
+	// Warnings describes each skipped cell, for operators to surface.
+	Warnings []string
+}
+
+func (m MergeStats) String() string {
+	return fmt.Sprintf("merged %d source(s): %d copied, %d duplicate, %d corrupt skipped, %d cells indexed",
+		m.Sources, m.Copied, m.Dups, m.Corrupt, m.Indexed)
+}
+
+// RebuildIndex regenerates index.jsonl from the cell tree, replacing
+// whatever journal was there: sorted by fingerprint, one entry per
+// readable cell, created times taken from file modification times. It
+// returns the number of cells indexed. This repairs indexes that lost
+// appends (they are advisory) and compacts after Merge or GC.
+func (s *Store) RebuildIndex() (int, error) {
+	files, err := s.cellFiles()
+	if err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	n := 0
+	for _, path := range files {
+		c, _, ok := readCell(path)
+		if !ok {
+			continue
+		}
+		created := ""
+		if fi, err := os.Stat(path); err == nil {
+			created = fi.ModTime().UTC().Format(time.RFC3339)
+		}
+		line, err := json.Marshal(IndexEntry{
+			Fingerprint: c.Fingerprint,
+			Workload:    c.Workload,
+			Scheme:      c.Scheme,
+			Created:     created,
+		})
+		if err != nil {
+			continue
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		n++
+	}
+	if err := writeFileAtomic(filepath.Join(s.dir, "index.jsonl"), buf.Bytes()); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// GCStats reports what a GC pass did (or, dry, would do).
+type GCStats struct {
+	// Scanned is the number of cell files examined.
+	Scanned int
+	// Removed counts cells older than the cutoff (deleted unless dry).
+	Removed int
+	// RemovedBytes is their total size.
+	RemovedBytes int64
+	// Kept counts surviving cells.
+	Kept int
+}
+
+// GC ages out cells whose file modification time predates cutoff and
+// rebuilds the index. Content addressing makes this always safe: an
+// aged-out cell simply re-simulates on next use. With dry set, GC only
+// reports what it would remove.
+func (s *Store) GC(cutoff time.Time, dry bool) (GCStats, error) {
+	files, err := s.cellFiles()
+	if err != nil {
+		return GCStats{}, err
+	}
+	var st GCStats
+	for _, path := range files {
+		st.Scanned++
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		if fi.ModTime().After(cutoff) {
+			st.Kept++
+			continue
+		}
+		st.Removed++
+		st.RemovedBytes += fi.Size()
+		if !dry {
+			os.Remove(path)
+		}
+	}
+	if !dry {
+		if _, err := s.RebuildIndex(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// SchemeFootprint is one scheme's share of a store.
+type SchemeFootprint struct {
+	Scheme string
+	// Cells and Bytes count the scheme's cell files and their size.
+	Cells int
+	Bytes int64
+	// Faults counts the fault-injection cells among them.
+	Faults int
+}
+
+// Footprint summarises a store's on-disk contents.
+type Footprint struct {
+	// Cells and Bytes total every readable cell.
+	Cells int
+	Bytes int64
+	// Corrupt counts unreadable cell files.
+	Corrupt int
+	// IndexEntries is the advisory index's line count (may lag Cells).
+	IndexEntries int
+	// Schemes breaks the totals down per scheme, sorted by name.
+	Schemes []SchemeFootprint
+}
+
+// Footprint scans the cell tree and reports the per-scheme footprint.
+func (s *Store) Footprint() (Footprint, error) {
+	files, err := s.cellFiles()
+	if err != nil {
+		return Footprint{}, err
+	}
+	var fp Footprint
+	byScheme := map[string]*SchemeFootprint{}
+	for _, path := range files {
+		c, _, ok := readCell(path)
+		if !ok {
+			fp.Corrupt++
+			continue
+		}
+		var size int64
+		if fi, err := os.Stat(path); err == nil {
+			size = fi.Size()
+		}
+		fp.Cells++
+		fp.Bytes += size
+		row := byScheme[c.Scheme]
+		if row == nil {
+			row = &SchemeFootprint{Scheme: c.Scheme}
+			byScheme[c.Scheme] = row
+		}
+		row.Cells++
+		row.Bytes += size
+		if c.Fault != nil {
+			row.Faults++
+		}
+	}
+	for _, row := range byScheme {
+		fp.Schemes = append(fp.Schemes, *row)
+	}
+	sort.Slice(fp.Schemes, func(i, j int) bool { return fp.Schemes[i].Scheme < fp.Schemes[j].Scheme })
+	if idx, err := s.Index(); err == nil {
+		fp.IndexEntries = len(idx)
+	}
+	return fp, nil
+}
+
+// VerifyReport is the outcome of a store integrity check.
+type VerifyReport struct {
+	// Cells counts cell files examined; Good counts the consistent ones.
+	Cells int
+	Good  int
+	// Problems describes every inconsistency found: unparseable cells,
+	// fingerprint mismatches, foreign schema versions, and index
+	// entries whose cell is gone.
+	Problems []string
+}
+
+// OK reports whether the store verified clean.
+func (r VerifyReport) OK() bool { return len(r.Problems) == 0 }
+
+// Verify checks every cell file parses, carries this engine's schema
+// version, and fingerprints consistently with its own content and file
+// name, then cross-checks the index for entries pointing at missing
+// cells. Problems are reported, not repaired: Get already degrades
+// mismatches to misses, gc/rebuild-index clean them up.
+func (s *Store) Verify() (VerifyReport, error) {
+	files, err := s.cellFiles()
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	var rep VerifyReport
+	onDisk := map[string]bool{}
+	for _, path := range files {
+		rep.Cells++
+		c, _, ok := readCell(path)
+		if !ok {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: unparseable", path))
+			continue
+		}
+		onDisk[c.Fingerprint] = true
+		switch {
+		case c.Schema != SchemaVersion:
+			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: schema %d, engine writes %d", path, c.Schema, SchemaVersion))
+		case !c.consistent(path):
+			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: fingerprint does not match content", path))
+		default:
+			rep.Good++
+		}
+	}
+	idx, err := s.Index()
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range idx {
+		if !onDisk[e.Fingerprint] {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("index: entry %s has no cell file", e.Fingerprint))
+		}
+	}
+	return rep, nil
+}
+
+// cellFiles lists every cell file under the store's tree in sorted
+// (deterministic) order, skipping in-flight temp files.
+func (s *Store) cellFiles() ([]string, error) {
+	var out []string
+	root := filepath.Join(s.dir, "cells")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") && !strings.HasPrefix(d.Name(), ".tmp-cell-") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	return out, nil
+}
+
+// readCell loads one cell file, returning its raw bytes alongside the
+// parsed cell so callers that re-write the file (Merge) need no second
+// read; ok is false for unreadable or unparseable files.
+func readCell(path string) (*Cell, []byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, false
+	}
+	var c Cell
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, nil, false
+	}
+	return &c, data, true
+}
+
+// consistent reports whether the cell's embedded fingerprint matches
+// both a recomputation from its identity fields and its file name —
+// the content-addressing invariant Merge and Verify rely on.
+func (c *Cell) consistent(path string) bool {
+	want := Key{Workload: c.Workload, Scheme: c.Scheme, Config: c.Config, Fault: c.Fault}.Fingerprint()
+	return c.Fingerprint == want && filepath.Base(path) == want+".json"
+}
+
+// sameDir reports whether two store roots name the same directory.
+func sameDir(a, b string) bool {
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	if errA != nil || errB != nil {
+		return a == b
+	}
+	return aa == bb
+}

@@ -211,14 +211,29 @@ func (s *Store) Put(k Key, c *Cell) error {
 	c.Config = k.Config
 	c.Fault = k.Fault
 
-	path := s.Path(k)
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
 	data, err := json.MarshalIndent(c, "", " ")
 	if err != nil {
 		return fmt.Errorf("resultstore: marshal cell: %w", err)
+	}
+	if err := writeFileAtomic(s.Path(k), data); err != nil {
+		return err
+	}
+	s.appendIndex(IndexEntry{
+		Fingerprint: c.Fingerprint,
+		Workload:    c.Workload,
+		Scheme:      c.Scheme,
+		Created:     time.Now().UTC().Format(time.RFC3339),
+	})
+	return nil
+}
+
+// writeFileAtomic writes data to a temp file in path's directory and
+// renames it into place, so concurrent readers only ever observe
+// complete files. It creates the directory as needed.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
 	}
 	tmp, err := os.CreateTemp(dir, ".tmp-cell-*")
 	if err != nil {
@@ -237,12 +252,6 @@ func (s *Store) Put(k Key, c *Cell) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	s.appendIndex(IndexEntry{
-		Fingerprint: c.Fingerprint,
-		Workload:    c.Workload,
-		Scheme:      c.Scheme,
-		Created:     time.Now().UTC().Format(time.RFC3339),
-	})
 	return nil
 }
 
