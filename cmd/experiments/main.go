@@ -16,6 +16,8 @@
 //	experiments -store .pdstore -no-cache   # ignore the store this run
 //	experiments -run faultcov -json         # fault campaign, schema-stable JSON
 //	experiments -run fig7 -shard 0/3 -store shard0  # this host's third of the grid
+//	experiments -run fig7 -shard 0/3 -shard-strategy weighted -store shard0
+//	experiments -run fig7 -progress-json            # machine-readable progress (pdsweep)
 //
 // Output on stdout is deterministic: -parallel N produces bytes
 // identical to -parallel 1, and a -store re-run produces bytes
@@ -23,10 +25,13 @@
 //
 // Sharding: -shard i/n executes only the i-th of n deterministic
 // slices of each sweep's grid, so n hosts split one campaign into
-// their own -store directories. `pdstore merge` folds the shard stores
-// into one; re-running without -shard against the merged store then
-// assembles the full sweep with zero simulations and stdout
-// byte-identical to a single-host run.
+// their own -store directories (-shard-strategy weighted balances
+// summed instruction samples instead of cell counts). `pdstore merge`
+// folds the shard stores into one; re-running without -shard against
+// the merged store then assembles the full sweep with zero
+// simulations and stdout byte-identical to a single-host run.
+// `pdsweep` automates the whole cycle from one command, driving the
+// -progress-json protocol.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 
 	"paradet/internal/campaign"
 	"paradet/internal/experiments"
+	"paradet/internal/orchestrator"
 	"paradet/internal/resultstore"
 )
 
@@ -55,11 +61,17 @@ func main() {
 	storeDir := flag.String("store", "", "campaign result store directory (cells persist across runs)")
 	noCache := flag.Bool("no-cache", false, "ignore -store: simulate everything, write nothing")
 	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
+	progressJSON := flag.Bool("progress-json", false, "emit one machine-readable JSON progress line per completed cell to stderr (the pdsweep protocol)")
 	shardArg := flag.String("shard", "", "execute one slice i/n of every sweep's grid (e.g. 0/3); merge the shard stores with pdstore")
+	shardStrategy := flag.String("shard-strategy", "", "cell assignment for -shard: round-robin (default) or weighted (balance summed instruction samples)")
 	flag.Parse()
 
 	if *jsonOut && *csvOut {
 		fmt.Fprintln(os.Stderr, "experiments: -json and -csv are mutually exclusive")
+		os.Exit(1)
+	}
+	if *progress && *progressJSON {
+		fmt.Fprintln(os.Stderr, "experiments: -progress and -progress-json are mutually exclusive")
 		os.Exit(1)
 	}
 
@@ -77,13 +89,22 @@ func main() {
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
 	}
+	strategy, err := campaign.ParseStrategy(*shardStrategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 	if *shardArg != "" {
 		sh, err := campaign.ParseShard(*shardArg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
+		sh.Strategy = strategy
 		opts.Shard = &sh
+	} else if *shardStrategy != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -shard-strategy needs -shard")
+		os.Exit(1)
 	}
 	if *storeDir != "" && !*noCache {
 		st, err := resultstore.Open(*storeDir)
@@ -92,6 +113,9 @@ func main() {
 			os.Exit(1)
 		}
 		opts.Store = st
+	}
+	if *progressJSON {
+		opts.Progress = orchestrator.Emitter(os.Stderr, opts.Shard, time.Now())
 	}
 	if *progress {
 		opts.Progress = func(p campaign.Progress) {

@@ -21,7 +21,10 @@
 // executes a disjoint slice of the grid into its own -store, `pdstore
 // merge` folds the stores together, and re-running without -shard
 // against the merged store emits the full report with zero
-// simulations.
+// simulations. `pdsweep` automates that cycle from one command, via
+// the -progress-json machine-readable progress protocol;
+// -shard-strategy weighted balances summed instruction samples
+// instead of cell counts.
 package main
 
 import (
@@ -33,10 +36,12 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"paradet"
 	"paradet/internal/campaign"
 	"paradet/internal/experiments"
+	"paradet/internal/orchestrator"
 	"paradet/internal/resultstore"
 )
 
@@ -58,6 +63,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "fault campaign: emit schema-stable JSON instead of text")
 	storeDir := flag.String("store", "", "fault campaign: persistent result store directory")
 	shardArg := flag.String("shard", "", "fault campaign: execute one slice i/n of the grid (e.g. 0/3)")
+	shardStrategy := flag.String("shard-strategy", "", "fault campaign: cell assignment for -shard, round-robin (default) or weighted")
+	progressJSON := flag.Bool("progress-json", false, "fault campaign: emit one JSON progress line per completed cell to stderr (the pdsweep protocol)")
 	flag.Parse()
 
 	if *list {
@@ -84,24 +91,31 @@ func main() {
 		if *workload == "" {
 			fail(fmt.Errorf("fault campaigns need -workload (the campaign engine loads by name)"))
 		}
+		strategy, err := campaign.ParseStrategy(*shardStrategy)
+		if err != nil {
+			fail(err)
+		}
 		var shard *campaign.Shard
 		if *shardArg != "" {
 			sh, err := campaign.ParseShard(*shardArg)
 			if err != nil {
 				fail(err)
 			}
+			sh.Strategy = strategy
 			shard = &sh
+		} else if *shardStrategy != "" {
+			fail(fmt.Errorf("-shard-strategy needs -shard"))
 		}
-		err := runFaultCampaign(*workload, cfg, faultGridArgs{
+		err = runFaultCampaign(*workload, cfg, faultGridArgs{
 			targets: *faultTargets, seqs: *faultSeqs, bits: *faultBits, sticky: *faultSticky,
-		}, *storeDir, *jsonOut, shard)
+		}, *storeDir, *jsonOut, *progressJSON, shard)
 		if err != nil {
 			fail(err)
 		}
 		return
 	}
-	if *shardArg != "" {
-		fail(fmt.Errorf("-shard only applies to fault campaigns (-fault-targets)"))
+	if *shardArg != "" || *shardStrategy != "" || *progressJSON {
+		fail(fmt.Errorf("-shard, -shard-strategy and -progress-json only apply to fault campaigns (-fault-targets)"))
 	}
 
 	prog, name, def, err := loadProgram(*workload, *asmFile)
@@ -222,7 +236,7 @@ func parseGrid(a faultGridArgs) (campaign.FaultGrid, error) {
 // prints either the text summary or the versioned JSON report. A
 // non-nil shard restricts it to that slice of the grid (the report
 // then only covers the shard's cells).
-func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, storeDir string, jsonOut bool, shard *campaign.Shard) error {
+func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, storeDir string, jsonOut, progressJSON bool, shard *campaign.Shard) error {
 	grid, err := parseGrid(args)
 	if err != nil {
 		return err
@@ -234,6 +248,9 @@ func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, s
 			return err
 		}
 		opts.Store = st
+	}
+	if progressJSON {
+		opts.Progress = orchestrator.Emitter(os.Stderr, shard, time.Now())
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -12,10 +12,12 @@
 //
 // merge folds per-shard stores into one: cells missing from the
 // destination are copied, duplicate fingerprints are deduplicated,
-// corrupt cells are skipped with a warning, cross-SchemaVersion stores
-// are refused, and the destination index is rebuilt from the merged
-// cell tree. Re-running the campaign against the merged store with
-// -store then assembles the full sweep at zero simulation cost.
+// corrupt cells are skipped with a warning (-strict turns skipped
+// cells into a non-zero exit, for orchestrated merges that must fail
+// loudly), cross-SchemaVersion stores are refused, and the destination
+// index is rebuilt from the merged cell tree. Re-running the campaign
+// against the merged store with -store then assembles the full sweep
+// at zero simulation cost.
 //
 // stats reports the per-scheme footprint (cells, fault cells, bytes)
 // plus index health. gc ages out cells not written since -older-than
@@ -38,7 +40,9 @@ const usage = `pdstore maintains campaign result stores (-store directories).
 
 Usage:
 
-  pdstore merge -into DIR SRC [SRC...]   fold source stores into DIR
+  pdstore merge [-strict] -into DIR SRC [SRC...]
+                                         fold source stores into DIR (-strict:
+                                         exit 1 if corrupt cells were skipped)
   pdstore stats DIR                      per-scheme footprint + index health
   pdstore gc -older-than DUR [-dry-run] DIR
                                          age out cells (e.g. -older-than 720h)
@@ -96,6 +100,7 @@ func open(dir string) (*resultstore.Store, error) {
 func runMerge(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	into := fs.String("into", "", "destination store directory (created if missing)")
+	strict := fs.Bool("strict", false, "fail (exit 1) if any corrupt source cell was skipped, instead of warning")
 	fs.Parse(args)
 	if *into == "" || fs.NArg() == 0 {
 		return fmt.Errorf("merge: want -into DIR and at least one source store")
@@ -120,6 +125,9 @@ func runMerge(args []string) error {
 		return err
 	}
 	fmt.Println(st)
+	if *strict {
+		return st.Strict()
+	}
 	return nil
 }
 

@@ -1,0 +1,173 @@
+// Command pdsweep runs a sharded campaign sweep from one command: it
+// launches N shard workers concurrently (local subprocesses by
+// default, ssh hosts with -ssh), streams a live aggregate of their
+// progress, retries failed or interrupted shards (each shard's result
+// store makes resume free), and when the last shard lands merges the
+// shard stores and assembles the final output — stdout byte-identical
+// to a single-host run, with zero simulations during assembly.
+//
+// Usage:
+//
+//	pdsweep -n 3 go run ./cmd/experiments -run fig7
+//	pdsweep -n 4 -retries 2 -store-root /tmp/sweep ./experiments -run fig9
+//	pdsweep -n 2 -ssh hosta,hostb -store-root /shared/sweep ./experiments -run fig7
+//	pdsweep -n 3 go run ./cmd/hetsim -workload bitcount -fault-targets all
+//
+// Everything after the flags is the campaign command. pdsweep appends
+// -shard i/n, -shard-strategy, -store DIR and -progress-json for each
+// shard worker, and -store MERGED -progress-json for the assembly
+// pass, so the command must be a cmd/experiments or cmd/hetsim
+// invocation (or anything speaking the same flags and progress
+// protocol). Shard workers' stdout is discarded — their figures are
+// partial by construction; only the assembly pass's stdout is
+// printed.
+//
+// Shard stores live under -store-root (a temp directory removed on
+// success when the flag is omitted). Re-running pdsweep with the same
+// -store-root resumes a previously interrupted sweep. With -ssh the
+// store root must name a filesystem path shared between this machine
+// and every host, and the campaign command must be runnable both on
+// the hosts (shard workers) and locally — the merge and the final
+// assembly pass always execute on the orchestrating machine.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"paradet/internal/campaign"
+	"paradet/internal/orchestrator"
+)
+
+func main() {
+	n := flag.Int("n", 2, "number of shard workers to split the sweep across")
+	retries := flag.Int("retries", 1, "relaunches allowed per shard before the sweep fails")
+	storeRoot := flag.String("store-root", "", "directory for shard and merged stores (default: temp dir, removed on success); reuse it to resume an interrupted sweep; with -ssh it must be on a shared filesystem")
+	sshHosts := flag.String("ssh", "", "comma-separated ssh hosts to run shard workers on, assigned round-robin (default: local subprocesses)")
+	strategyArg := flag.String("shard-strategy", string(campaign.StrategyWeighted), "cell assignment: weighted (balance summed instruction samples) or round-robin")
+	tick := flag.Duration("tick", time.Second, "minimum interval between progress lines on stderr")
+	flag.Parse()
+
+	argv := flag.Args()
+	if len(argv) == 0 {
+		fail(fmt.Errorf("no campaign command (try: pdsweep -n 3 go run ./cmd/experiments -run fig7)"))
+	}
+	if *n < 1 {
+		fail(fmt.Errorf("-n must be >= 1, got %d", *n))
+	}
+	strategy, err := campaign.ParseStrategy(*strategyArg)
+	if err != nil {
+		fail(err)
+	}
+
+	root := *storeRoot
+	cleanup := false
+	if root == "" {
+		// A local temp root cannot serve ssh workers: they would write
+		// shard stores on their own hosts while the merge reads empty
+		// local directories, discarding every remote cell.
+		if *sshHosts != "" {
+			fail(fmt.Errorf("-ssh needs an explicit -store-root on a filesystem shared with the hosts"))
+		}
+		root, err = os.MkdirTemp("", "pdsweep-")
+		if err != nil {
+			fail(err)
+		}
+		cleanup = true
+	}
+
+	var runners []orchestrator.Runner
+	if *sshHosts != "" {
+		for _, h := range strings.Split(*sshHosts, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				runners = append(runners, orchestrator.SSH{Host: h})
+			}
+		}
+	} else {
+		// N local workers would each default to a GOMAXPROCS-wide
+		// simulation pool and oversubscribe the machine; give each an
+		// even share instead. (The assembly pass runs uncapped — it is
+		// all store hits.)
+		share := runtime.NumCPU() / *n
+		if share < 1 {
+			share = 1
+		}
+		runners = append(runners, orchestrator.Local{Env: []string{fmt.Sprintf("GOMAXPROCS=%d", share)}})
+	}
+
+	// Live aggregate ticker: one line per -tick, plus milestones the
+	// throttle must not eat (handled by the final summary).
+	var mu sync.Mutex
+	var lastPrint time.Time
+	progress := func(s orchestrator.Snapshot) {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(lastPrint) < *tick {
+			return
+		}
+		lastPrint = time.Now()
+		line := fmt.Sprintf("cells %d/%d · sims %d · hits %d", s.Done, s.Total, s.Sims, s.Hits)
+		if s.Slowest >= 0 {
+			line += fmt.Sprintf(" · shard %d slowest", s.Slowest)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+
+	// Ctrl-C cancels every worker; finished cells stay in the shard
+	// stores, so the same pdsweep command with -store-root resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	rep, err := orchestrator.Run(ctx, orchestrator.Options{
+		Argv:      argv,
+		Shards:    *n,
+		Runners:   runners,
+		StoreRoot: root,
+		Strategy:  strategy,
+		Retries:   *retries,
+		Progress:  progress,
+		Stdout:    os.Stdout,
+		Stderr:    os.Stderr,
+	})
+	if err != nil {
+		if cleanup {
+			if rep != nil {
+				// Workers ran: their stores make a re-run with
+				// -store-root resume instead of redo.
+				fmt.Fprintf(os.Stderr, "pdsweep: shard stores kept under %s for resume\n", root)
+			} else {
+				os.RemoveAll(root) // nothing ever ran; don't leak the temp dir
+			}
+		}
+		fail(err)
+	}
+
+	// CI greps this exact shape; misses is always 0 here (the
+	// orchestrator fails the sweep otherwise).
+	fmt.Fprintf(os.Stderr, "pdsweep: %d shard(s) ok, %d retr%s · %s · assembled cells=%d hits=%d misses=%d · %.1fs\n",
+		*n, rep.Retried(), plural(rep.Retried(), "y", "ies"), rep.Merge, rep.Cells, rep.Hits, rep.Sims,
+		time.Since(start).Seconds())
+	if cleanup {
+		os.RemoveAll(root)
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pdsweep:", err)
+	os.Exit(1)
+}

@@ -86,6 +86,10 @@ func (o *Outcome) Err() error {
 type Progress struct {
 	// Done and Total count cells (Done includes failed cells).
 	Done, Total int
+	// Cell is the finished cell's spec-order index in the expanded grid
+	// (workload-major, then point, then fault) — stable across shards
+	// and worker counts, unlike Done.
+	Cell int
 	// CellHits/CellSims/BaselineSims/BaselineHits are running totals
 	// with the Stats meanings.
 	CellHits, CellSims, BaselineSims, BaselineHits int
@@ -359,12 +363,17 @@ func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options)
 		}
 	}
 
-	// A shard owns every cell whose spec-order index falls on it;
-	// round-robin assignment balances workloads and points across
-	// shards. Unowned cells are marked Skipped and never touched.
+	// The shard's strategy maps spec-order cell indices to owners —
+	// round-robin over the index, or cost-weighted over the resolved
+	// instruction samples. Unowned cells are marked Skipped and never
+	// touched.
+	owns := func(int) bool { return true }
+	if opts.Shard != nil {
+		owns = opts.Shard.planner(out.Results)
+	}
 	owned := make([]int, 0, len(out.Results))
 	for i := range out.Results {
-		if opts.Shard != nil && !opts.Shard.owns(i) {
+		if !owns(i) {
 			out.Results[i].Skipped = true
 			continue
 		}
@@ -390,7 +399,7 @@ func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options)
 		default:
 			eng.run(ctx, r, l.prog, spec.WithBaseline)
 		}
-		eng.report(r)
+		eng.report(owned[n], r)
 	})
 	out.Stats = eng.ctrs.stats(len(out.Results))
 	out.Stats.ShardCells = len(owned)
@@ -416,7 +425,7 @@ type engine struct {
 // every worker's counter updates, because each cell's increments
 // happen before its own report and all prior reports released the
 // mutex this one holds.
-func (e *engine) report(r *Run) {
+func (e *engine) report(cell int, r *Run) {
 	if e.progress == nil {
 		e.ctrs.done.Add(1)
 		return
@@ -427,6 +436,7 @@ func (e *engine) report(r *Run) {
 	e.progress(Progress{
 		Done:         int(done),
 		Total:        e.total,
+		Cell:         cell,
 		CellHits:     int(e.ctrs.cellHits.Load()),
 		CellSims:     int(e.ctrs.cellSims.Load()),
 		BaselineSims: int(e.ctrs.baseSims.Load()),

@@ -10,12 +10,11 @@ import (
 )
 
 // Shard deterministically selects a 1/Count slice of a campaign's
-// expanded run grid so N hosts can split one sweep. Cells are assigned
-// round-robin over the spec-order cell index (workload-major, then
-// point, then fault): shard i of n owns every cell whose index ≡ i
-// (mod n). The assignment depends only on the spec, never on worker
-// scheduling, so the same (i, n) always names the same cells, the n
-// shards are pairwise disjoint, and their union is the full grid.
+// expanded run grid so N hosts can split one sweep. The assignment
+// depends only on the spec and the strategy, never on worker
+// scheduling, so the same (i, n, strategy) always names the same
+// cells, the n shards are pairwise disjoint, and their union is the
+// full grid.
 //
 // Each shard executes its slice into its own (or a shared) result
 // store; resultstore.Merge recombines per-shard stores, and Assemble
@@ -26,6 +25,39 @@ type Shard struct {
 	Index int
 	// Count is the total number of shards.
 	Count int
+	// Strategy selects how cells map to shards (empty = round-robin).
+	// Every shard of one sweep must use the same strategy, or the
+	// slices are neither disjoint nor covering.
+	Strategy Strategy
+}
+
+// Strategy names a deterministic cell-to-shard assignment.
+type Strategy string
+
+const (
+	// StrategyRoundRobin assigns cell i (spec-order index:
+	// workload-major, then point, then fault) to shard i mod Count. It
+	// balances cell counts, not cell costs.
+	StrategyRoundRobin Strategy = "round-robin"
+	// StrategyWeighted balances summed cell cost across shards, where a
+	// cell's cost is its resolved committed-instruction sample
+	// (Config.MaxInstrs, after spec and workload defaults apply).
+	// Cells are taken in spec order and each goes to the currently
+	// lightest shard (ties to the lowest index), so the assignment is
+	// deterministic and spec-order stable: every shard computes the
+	// same plan independently.
+	StrategyWeighted Strategy = "weighted"
+)
+
+// ParseStrategy parses the CLI -shard-strategy value ("" = round-robin).
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case "", StrategyRoundRobin:
+		return StrategyRoundRobin, nil
+	case StrategyWeighted:
+		return StrategyWeighted, nil
+	}
+	return "", fmt.Errorf("shard strategy %q: want %q or %q", s, StrategyRoundRobin, StrategyWeighted)
 }
 
 // ParseShard parses the CLI shard syntax "i/n" (e.g. "0/3").
@@ -57,11 +89,50 @@ func (s Shard) Validate() error {
 	if s.Index < 0 || s.Index >= s.Count {
 		return fmt.Errorf("shard %d/%d: index out of range [0, %d)", s.Index, s.Count, s.Count)
 	}
+	if _, err := ParseStrategy(string(s.Strategy)); err != nil {
+		return err
+	}
 	return nil
 }
 
-// owns reports whether cell index i belongs to this shard.
+// owns reports whether cell index i belongs to this shard under
+// round-robin assignment.
 func (s Shard) owns(i int) bool { return i%s.Count == s.Index }
+
+// planner compiles the strategy into an ownership predicate over the
+// expanded grid. It sees the fully resolved cells (Config.MaxInstrs
+// filled in), which is all the weighted strategy needs.
+func (s Shard) planner(cells []Run) func(int) bool {
+	if s.Strategy != StrategyWeighted {
+		return s.owns
+	}
+	assign := weightedAssign(cells, s.Count)
+	return func(i int) bool { return assign[i] == s.Index }
+}
+
+// weightedAssign greedily assigns each cell, in spec order, to the
+// shard with the least accumulated cost so far (ties to the lowest
+// shard index). Cost is the cell's resolved MaxInstrs; a zero sample
+// (unresolvable workload) counts as 1 so such cells still spread.
+func weightedAssign(cells []Run, n int) []int {
+	load := make([]uint64, n)
+	assign := make([]int, len(cells))
+	for i := range cells {
+		w := cells[i].Config.MaxInstrs
+		if w == 0 {
+			w = 1
+		}
+		best := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		assign[i] = best
+		load[best] += w
+	}
+	return assign
+}
 
 // Assemble re-executes the full (unsharded) spec against a warm store
 // — typically the resultstore.Merge of per-shard stores — and requires

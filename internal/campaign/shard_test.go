@@ -25,6 +25,107 @@ func TestParseShard(t *testing.T) {
 	}
 }
 
+// TestParseStrategy covers the CLI -shard-strategy values.
+func TestParseStrategy(t *testing.T) {
+	for arg, want := range map[string]Strategy{
+		"":            StrategyRoundRobin,
+		"round-robin": StrategyRoundRobin,
+		"weighted":    StrategyWeighted,
+	} {
+		got, err := ParseStrategy(arg)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %q, %v; want %q", arg, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("ParseStrategy(bogus) accepted")
+	}
+	if err := (Shard{Index: 0, Count: 2, Strategy: "bogus"}).Validate(); err == nil {
+		t.Error("Validate accepted an unknown strategy")
+	}
+}
+
+// weightedSpec crosses two workloads with three points of uneven cost
+// (one 4x heavier), so count balance and cost balance disagree.
+func weightedSpec() Spec {
+	mk := func(label string, instrs uint64) Point {
+		cfg := paradet.DefaultConfig()
+		cfg.MaxInstrs = instrs
+		return Point{Label: label, Config: cfg}
+	}
+	return Spec{
+		Name:      "weighted-test",
+		Workloads: []string{"randacc", "bitcount"},
+		Points:    []Point{mk("heavy", 8000), mk("light", 2000), mk("light2", 2000)},
+		Parallel:  1,
+	}
+}
+
+// TestWeightedShardsBalanceAndPartition asserts the weighted strategy
+// keeps the core shard invariants — pairwise disjoint, full cover,
+// independently computable per shard — while balancing summed cell
+// cost (resolved MaxInstrs) instead of cell counts, and that it
+// actually deviates from round-robin on uneven grids.
+func TestWeightedShardsBalanceAndPartition(t *testing.T) {
+	spec := weightedSpec()
+	const n = 2
+	cells := len(spec.Workloads) * len(spec.Points)
+	owner := make([]int, cells)
+	for i := range owner {
+		owner[i] = -1
+	}
+	load := make([]uint64, n)
+	var maxCell uint64
+	differs := false
+	for s := 0; s < n; s++ {
+		out, err := ExecuteContext(context.Background(), spec, nil,
+			Options{Shard: &Shard{Index: s, Count: n, Strategy: StrategyWeighted}})
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if err := out.Err(); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		for j := range out.Results {
+			r := &out.Results[j]
+			if r.Config.MaxInstrs > maxCell {
+				maxCell = r.Config.MaxInstrs
+			}
+			if r.Skipped {
+				continue
+			}
+			if owner[j] != -1 {
+				t.Errorf("cell %d owned by shards %d and %d", j, owner[j], s)
+			}
+			owner[j] = s
+			load[s] += r.Config.MaxInstrs
+			if j%n != s {
+				differs = true
+			}
+		}
+	}
+	for j, s := range owner {
+		if s == -1 {
+			t.Errorf("cell %d owned by no shard", j)
+		}
+	}
+	if !differs {
+		t.Error("weighted assignment is identical to round-robin on an uneven grid")
+	}
+	hi, lo := load[0], load[0]
+	for _, l := range load[1:] {
+		if l > hi {
+			hi = l
+		}
+		if l < lo {
+			lo = l
+		}
+	}
+	if hi-lo > maxCell {
+		t.Errorf("weighted loads %v spread by more than the heaviest cell (%d)", load, maxCell)
+	}
+}
+
 // TestShardRejectsInvalid asserts Execute refuses impossible shards.
 func TestShardRejectsInvalid(t *testing.T) {
 	_, err := ExecuteContext(context.Background(), testSpec(1), nil,

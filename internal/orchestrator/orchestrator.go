@@ -1,0 +1,366 @@
+// Package orchestrator turns a sharded campaign into one supervised
+// run: it launches N shard workers (local subprocesses by default,
+// ssh hosts via the Runner seam), decodes their -progress-json
+// streams into a live aggregate, retries failed or interrupted shards
+// (resume is free — each shard's result store keeps its finished
+// cells), and when the last shard lands merges the shard stores and
+// re-runs the campaign against the merge, producing stdout
+// byte-identical to a single-host run with zero simulations. It is
+// the layer cmd/pdsweep wraps and future remote pools plug into.
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"paradet/internal/campaign"
+	"paradet/internal/resultstore"
+)
+
+// Options configure one orchestrated sweep.
+type Options struct {
+	// Argv is the campaign command (a cmd/experiments or cmd/hetsim
+	// invocation, or anything speaking the same flags and progress
+	// protocol) without -shard/-store/-progress-json, which the
+	// orchestrator appends per worker.
+	Argv []string
+	// Shards is the number of workers to split the sweep across.
+	Shards int
+	// Runners execute the workers; shard i runs on Runners[i mod len].
+	// Nil means one Local runner shared by every shard.
+	Runners []Runner
+	// Assembler runs the final merge-backed assembly pass (nil =
+	// Local; the merged store is always local to the orchestrator).
+	Assembler Runner
+	// StoreRoot is the directory holding the per-shard stores
+	// (shard0, shard1, …) and the merged store (merged). With ssh
+	// runners it must be a shared-filesystem path.
+	StoreRoot string
+	// Strategy is the cell-assignment strategy passed to every worker
+	// ("" = weighted, the orchestrator default).
+	Strategy campaign.Strategy
+	// Retries is how many times one shard may be relaunched after a
+	// failure before the sweep is abandoned.
+	Retries int
+	// TailBytes bounds the per-shard stderr tail kept for error
+	// reports (0 = 4096).
+	TailBytes int
+	// Progress, when non-nil, observes the live aggregate after every
+	// decoded worker event.
+	Progress func(Snapshot)
+	// Stdout receives the assembly pass's stdout — the sweep's final
+	// output (nil = discard).
+	Stdout io.Writer
+	// Stderr receives orchestrator notes, merge warnings and the
+	// assembly pass's plain stderr (nil = discard).
+	Stderr io.Writer
+}
+
+// ShardProgress is one worker's latest decoded counters.
+type ShardProgress struct {
+	// Done, Total, Hits and Sims mirror the worker's last Event.
+	Done, Total, Hits, Sims int
+	// Seen marks shards that have reported at least one event.
+	Seen bool
+}
+
+// Snapshot is the live aggregate over every shard, for tickers.
+type Snapshot struct {
+	// Done/Total/Hits/Sims sum the latest per-shard counters.
+	Done, Total, Hits, Sims int
+	// Shards holds the per-shard detail, indexed by shard.
+	Shards []ShardProgress
+	// Slowest is the index of the unfinished shard with the lowest
+	// completion fraction, counting shards that have not reported yet
+	// as zero progress (-1 once every shard has finished).
+	Slowest int
+}
+
+// ShardReport is one shard's final accounting.
+type ShardReport struct {
+	// Shard is the shard index; Runner names where it ran.
+	Shard  int
+	Runner string
+	// Attempts counts launches (1 = no retries needed).
+	Attempts int
+	// Done, Hits and Sims are the final decoded counters.
+	Done, Hits, Sims int
+	// Err is the terminal failure after the retry budget, if any.
+	Err error
+	// Tail is the failed worker's last plain stderr lines.
+	Tail string
+}
+
+// Report is a completed orchestrated sweep.
+type Report struct {
+	// Shards holds one entry per shard, indexed by shard.
+	Shards []ShardReport
+	// Merge is the shard-store recombination accounting.
+	Merge resultstore.MergeStats
+	// Cells, Hits and Sims are the assembly pass's final counters;
+	// Sims is always 0 on success (the orchestrator fails otherwise).
+	Cells, Hits, Sims int
+}
+
+// Retried totals the extra launches across all shards.
+func (r *Report) Retried() int {
+	n := 0
+	for i := range r.Shards {
+		if r.Shards[i].Attempts > 1 {
+			n += r.Shards[i].Attempts - 1
+		}
+	}
+	return n
+}
+
+// Run executes one orchestrated sweep: launch, supervise, retry,
+// merge, assemble. It returns the report even alongside an error when
+// the failure happened after workers produced accountable state.
+func Run(ctx context.Context, o Options) (*Report, error) {
+	if len(o.Argv) == 0 {
+		return nil, fmt.Errorf("orchestrator: no campaign command")
+	}
+	if o.Shards < 1 {
+		return nil, fmt.Errorf("orchestrator: shards must be >= 1, got %d", o.Shards)
+	}
+	if o.StoreRoot == "" {
+		return nil, fmt.Errorf("orchestrator: no store root")
+	}
+	strategy, err := campaign.ParseStrategy(string(o.Strategy))
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: %w", err)
+	}
+	if o.Strategy == "" {
+		strategy = campaign.StrategyWeighted
+	}
+	runners := o.Runners
+	if len(runners) == 0 {
+		runners = []Runner{Local{}}
+	}
+	stdout, stderr := o.Stdout, o.Stderr
+	if stdout == nil {
+		stdout = io.Discard
+	}
+	if stderr == nil {
+		stderr = io.Discard
+	}
+	if err := os.MkdirAll(o.StoreRoot, 0o777); err != nil {
+		return nil, fmt.Errorf("orchestrator: %w", err)
+	}
+
+	rep := &Report{Shards: make([]ShardReport, o.Shards)}
+	agg := &aggregator{shards: make([]ShardProgress, o.Shards), progress: o.Progress}
+
+	// Launch every shard worker concurrently. The first shard to
+	// exhaust its retries cancels the rest: their stores keep whatever
+	// they finished, so a later pdsweep run resumes instead of redoing.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < o.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep.Shards[i] = o.runShard(wctx, i, strategy, runners[i%len(runners)], agg, stderr)
+			if rep.Shards[i].Err != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range rep.Shards {
+		s := agg.get(i)
+		rep.Shards[i].Done, rep.Shards[i].Hits, rep.Shards[i].Sims = s.Done, s.Hits, s.Sims
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	// Separate root causes from collateral: the first shard to exhaust
+	// its budget cancels the siblings, whose context-cancelled exits
+	// would otherwise bury the one error worth reading.
+	var failures []error
+	interrupted := 0
+	for i := range rep.Shards {
+		err := rep.Shards[i].Err
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled):
+			interrupted++
+		default:
+			if tail := rep.Shards[i].Tail; tail != "" {
+				err = fmt.Errorf("%w; stderr tail:\n%s", err, tail)
+			}
+			failures = append(failures, err)
+		}
+	}
+	if interrupted > 0 && len(failures) > 0 {
+		failures = append(failures, fmt.Errorf("%d other shard(s) interrupted; their stores resume the sweep", interrupted))
+	} else if interrupted > 0 {
+		failures = append(failures, fmt.Errorf("%d shard(s) interrupted", interrupted))
+	}
+	if len(failures) > 0 {
+		return rep, errors.Join(failures...)
+	}
+
+	// Merge the shard stores. Orchestrated merges are strict: a
+	// corrupt shard cell would silently resurface as simulation work
+	// during assembly, which Run is contracted to forbid.
+	dst, err := resultstore.Open(o.mergedDir())
+	if err != nil {
+		return rep, fmt.Errorf("orchestrator: %w", err)
+	}
+	srcs := make([]*resultstore.Store, 0, o.Shards)
+	for i := 0; i < o.Shards; i++ {
+		src, err := resultstore.Open(o.shardDir(i))
+		if err != nil {
+			return rep, fmt.Errorf("orchestrator: shard %d store: %w", i, err)
+		}
+		srcs = append(srcs, src)
+	}
+	rep.Merge, err = resultstore.Merge(dst, srcs...)
+	for _, w := range rep.Merge.Warnings {
+		fmt.Fprintln(stderr, "orchestrator: merge warning:", w)
+	}
+	if err != nil {
+		return rep, fmt.Errorf("orchestrator: merge: %w", err)
+	}
+	if err := rep.Merge.Strict(); err != nil {
+		return rep, fmt.Errorf("orchestrator: merge: %w", err)
+	}
+
+	// Assemble: re-run the campaign unsharded against the merged
+	// store. Its stdout is the sweep's final output — byte-identical
+	// to a single-host run, because the store only changes what is
+	// simulated, never what is printed — and its progress stream lets
+	// the orchestrator enforce that nothing was simulated.
+	assembler := o.Assembler
+	if assembler == nil {
+		assembler = Local{}
+	}
+	argv := append(append([]string{}, o.Argv...), "-store", o.mergedDir(), "-progress-json")
+	var last Event
+	sawEvent := false
+	dec := &Decoder{
+		OnEvent: func(e Event) { last, sawEvent = e, true },
+		OnLine:  func(s string) { fmt.Fprintln(stderr, s) },
+	}
+	err = assembler.Run(ctx, argv, stdout, dec)
+	dec.Close()
+	if err != nil {
+		return rep, fmt.Errorf("orchestrator: assembly (%s): %w", assembler.Name(), err)
+	}
+	if !sawEvent {
+		// Without events the misses=0 contract was never checked — an
+		// exit-0 command that ignores -progress-json must not pass off
+		// an unverified sweep as assembled.
+		return rep, fmt.Errorf("orchestrator: assembly (%s) emitted no progress events: does the command speak -progress-json?", assembler.Name())
+	}
+	rep.Cells, rep.Hits, rep.Sims = last.Done, last.Hits, last.Sims
+	if rep.Sims > 0 {
+		return rep, fmt.Errorf("orchestrator: assembly simulated %d cell(s): shard stores did not cover the grid", rep.Sims)
+	}
+	return rep, nil
+}
+
+func (o *Options) shardDir(i int) string {
+	return filepath.Join(o.StoreRoot, fmt.Sprintf("shard%d", i))
+}
+
+func (o *Options) mergedDir() string { return filepath.Join(o.StoreRoot, "merged") }
+
+func (o *Options) tailBytes() int {
+	if o.TailBytes > 0 {
+		return o.TailBytes
+	}
+	return 4096
+}
+
+// runShard supervises one shard worker through its retry budget. A
+// relaunched worker reuses the shard's store, so it loads finished
+// cells as hits and only simulates what the dead attempt never got to.
+func (o *Options) runShard(ctx context.Context, i int, strategy campaign.Strategy, runner Runner, agg *aggregator, stderr io.Writer) ShardReport {
+	rep := ShardReport{Shard: i, Runner: runner.Name()}
+	argv := append(append([]string{}, o.Argv...),
+		"-shard", campaign.Shard{Index: i, Count: o.Shards}.String(),
+		"-shard-strategy", string(strategy),
+		"-store", o.shardDir(i),
+		"-progress-json")
+	tail := &tailBuffer{max: o.tailBytes()}
+	for attempt := 1; ; attempt++ {
+		rep.Attempts = attempt
+		dec := &Decoder{
+			OnEvent: func(e Event) { agg.observe(i, e) },
+			OnLine:  tail.add,
+		}
+		err := runner.Run(ctx, argv, io.Discard, dec)
+		dec.Close()
+		if err == nil {
+			return rep
+		}
+		if ctx.Err() != nil {
+			rep.Err = fmt.Errorf("shard %d (%s): %w", i, runner.Name(), ctx.Err())
+			return rep
+		}
+		if attempt > o.Retries {
+			rep.Err = fmt.Errorf("shard %d (%s) failed after %d attempt(s): %w", i, runner.Name(), attempt, err)
+			rep.Tail = tail.String()
+			return rep
+		}
+		fmt.Fprintf(stderr, "orchestrator: shard %d (%s) attempt %d failed (%v); relaunching (store resumes)\n",
+			i, runner.Name(), attempt, err)
+	}
+}
+
+// aggregator folds per-shard events into the live Snapshot.
+type aggregator struct {
+	mu       sync.Mutex
+	shards   []ShardProgress
+	progress func(Snapshot)
+}
+
+func (a *aggregator) observe(i int, e Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.shards[i] = ShardProgress{Done: e.Done, Total: e.Total, Hits: e.Hits, Sims: e.Sims, Seen: true}
+	// The callback runs under the mutex so snapshots are delivered in
+	// order — without it two decoder goroutines could swap deliveries
+	// and the ticker would show the count regressing.
+	if a.progress != nil {
+		a.progress(a.snapshotLocked())
+	}
+}
+
+func (a *aggregator) get(i int) ShardProgress {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shards[i]
+}
+
+func (a *aggregator) snapshotLocked() Snapshot {
+	snap := Snapshot{Shards: append([]ShardProgress(nil), a.shards...), Slowest: -1}
+	worst := 0.0
+	for i, s := range a.shards {
+		snap.Done += s.Done
+		snap.Total += s.Total
+		snap.Hits += s.Hits
+		snap.Sims += s.Sims
+		// A shard that has not reported yet counts as zero progress; a
+		// finished shard is never "slowest". All finished -> -1.
+		frac := 0.0
+		if s.Seen && s.Total > 0 {
+			if s.Done >= s.Total {
+				continue
+			}
+			frac = float64(s.Done) / float64(s.Total)
+		}
+		if snap.Slowest == -1 || frac < worst {
+			worst, snap.Slowest = frac, i
+		}
+	}
+	return snap
+}

@@ -1,0 +1,419 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"paradet"
+	"paradet/internal/campaign"
+	"paradet/internal/resultstore"
+)
+
+// orchSpec is a small sweep with uneven cell costs, so the default
+// weighted strategy has something to balance: 2 workloads x 3 points,
+// one point 4x heavier than the others.
+func orchSpec() campaign.Spec {
+	mk := func(label string, hz, instrs uint64) campaign.Point {
+		cfg := paradet.DefaultConfig()
+		cfg.CheckerHz = hz
+		cfg.MaxInstrs = instrs
+		return campaign.Point{Label: label, Config: cfg}
+	}
+	return campaign.Spec{
+		Name:      "orch-test",
+		Workloads: []string{"randacc", "bitcount"},
+		Points: []campaign.Point{
+			mk("heavy", 1_000_000_000, 8000),
+			mk("light", 500_000_000, 2000),
+			mk("light2", 250_000_000, 2000),
+		},
+		WithBaseline: true,
+		Parallel:     1,
+	}
+}
+
+// countingSim counts protected-cell simulations, the currency of the
+// "each cell simulated exactly once across the whole sweep" contract.
+type countingSim struct {
+	campaign.Simulator
+	runs atomic.Int64
+}
+
+func (c *countingSim) Run(ctx context.Context, cfg paradet.Config, p *paradet.Program) (*paradet.Result, error) {
+	c.runs.Add(1)
+	return c.Simulator.Run(ctx, cfg, p)
+}
+
+// renderOutcome is the fake worker's deterministic "figure output":
+// the spec-order projection of every cell. Identical outcomes render
+// identical bytes, which is what the orchestrator promises about
+// assembly stdout.
+func renderOutcome(t *testing.T, out *campaign.Outcome) string {
+	t.Helper()
+	type cell struct {
+		Workload, Label string
+		Slowdown        float64
+		Res             *paradet.Result
+	}
+	var cells []cell
+	for i := range out.Results {
+		r := &out.Results[i]
+		if r.Err != nil {
+			t.Fatalf("%s/%s: %v", r.Workload, r.Point.Label, r.Err)
+		}
+		cells = append(cells, cell{r.Workload, r.Point.Label, r.Slowdown, r.Res})
+	}
+	b, err := json.Marshal(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// fakeWorker implements Runner by running the campaign engine
+// in-process, speaking exactly the flags and progress protocol the
+// orchestrator appends for real cmd/experiments workers. dieShard
+// names one shard whose first attempt is killed (context-cancelled,
+// like a crashed host) after dieAfter cells.
+type fakeWorker struct {
+	t        *testing.T
+	spec     campaign.Spec
+	sim      campaign.Simulator
+	dieShard int // -1 = never die
+	dieAfter int
+	died     atomic.Bool
+}
+
+func (f *fakeWorker) Name() string { return "fake" }
+
+func (f *fakeWorker) Run(ctx context.Context, argv []string, stdout, stderr io.Writer) error {
+	var shardArg, strategyArg, storeDir string
+	progressJSON := false
+	for i := 0; i < len(argv); i++ {
+		switch argv[i] {
+		case "-shard":
+			i++
+			shardArg = argv[i]
+		case "-shard-strategy":
+			i++
+			strategyArg = argv[i]
+		case "-store":
+			i++
+			storeDir = argv[i]
+		case "-progress-json":
+			progressJSON = true
+		}
+	}
+	var shard *campaign.Shard
+	if shardArg != "" {
+		sh, err := campaign.ParseShard(shardArg)
+		if err != nil {
+			return err
+		}
+		if sh.Strategy, err = campaign.ParseStrategy(strategyArg); err != nil {
+			return err
+		}
+		shard = &sh
+	}
+	if storeDir == "" {
+		return fmt.Errorf("fake worker: no -store in %q", argv)
+	}
+	st, err := resultstore.Open(storeDir)
+	if err != nil {
+		return err
+	}
+
+	runCtx := ctx
+	killAfter := 0
+	var kill context.CancelFunc
+	if shard != nil && shard.Index == f.dieShard && f.died.CompareAndSwap(false, true) {
+		runCtx, kill = context.WithCancel(ctx)
+		defer kill()
+		killAfter = f.dieAfter
+	}
+	var emit campaign.ProgressFunc
+	if progressJSON {
+		emit = Emitter(stderr, shard, time.Now())
+	}
+	cells := 0
+	progress := func(p campaign.Progress) {
+		if emit != nil {
+			emit(p)
+		}
+		if cells++; killAfter > 0 && cells >= killAfter {
+			kill()
+		}
+	}
+	out, err := campaign.ExecuteContext(runCtx, f.spec, f.sim, campaign.Options{Store: st, Shard: shard, Progress: progress})
+	if err != nil {
+		return err
+	}
+	if err := out.Err(); err != nil {
+		return err
+	}
+	if shard == nil { // assembly pass: print the final figure
+		fmt.Fprintln(stdout, renderOutcome(f.t, out))
+	}
+	return nil
+}
+
+// TestOrchestratedSweepEquivalence is the tentpole contract: three
+// orchestrated shards produce assembly stdout byte-identical to a
+// single-host run, every protected cell is simulated exactly once
+// across all shards (disjoint cover), and assembly simulates nothing.
+func TestOrchestratedSweepEquivalence(t *testing.T) {
+	spec := orchSpec()
+	ref, err := campaign.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutcome(t, ref) + "\n"
+
+	sim := &countingSim{Simulator: campaign.Default()}
+	worker := &fakeWorker{t: t, spec: spec, sim: sim, dieShard: -1}
+	var stdout, log bytes.Buffer
+	var snaps []Snapshot
+	rep, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    3,
+		Runners:   []Runner{worker},
+		Assembler: worker,
+		StoreRoot: t.TempDir(),
+		Progress:  func(s Snapshot) { snaps = append(snaps, s) },
+		Stdout:    &stdout,
+		Stderr:    &log,
+	})
+	if err != nil {
+		t.Fatalf("orchestrated run failed: %v\n%s", err, log.String())
+	}
+	if stdout.String() != want {
+		t.Errorf("assembly stdout differs from the single-host run:\n got %q\nwant %q", stdout.String(), want)
+	}
+	cellCount := len(spec.Workloads) * len(spec.Points)
+	if got := int(sim.runs.Load()); got != cellCount {
+		t.Errorf("protected simulations = %d, want %d (shards must cover the grid exactly once)", got, cellCount)
+	}
+	if rep.Sims != 0 {
+		t.Errorf("assembly sims = %d, want 0", rep.Sims)
+	}
+	if rep.Cells != cellCount {
+		t.Errorf("assembled cells = %d, want %d", rep.Cells, cellCount)
+	}
+	if rep.Merge.Copied == 0 || rep.Merge.Corrupt != 0 {
+		t.Errorf("merge stats = %+v", rep.Merge)
+	}
+	if rep.Retried() != 0 {
+		t.Errorf("retries = %d, want 0", rep.Retried())
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	last := snaps[len(snaps)-1]
+	if last.Done != cellCount || last.Total != cellCount || last.Slowest != -1 {
+		t.Errorf("final snapshot = %+v, want done %d/%d and no slowest shard", last, cellCount, cellCount)
+	}
+	sawSlowest := false
+	for _, s := range snaps {
+		if s.Slowest >= 0 {
+			sawSlowest = true
+		}
+	}
+	if !sawSlowest {
+		t.Error("no in-flight snapshot named a slowest shard")
+	}
+}
+
+// TestShardRetryResumesFromStore kills one shard worker after its
+// first cell; the orchestrator must relaunch it, the relaunch must
+// resume from the shard store (no cell simulated twice), and the
+// final output must still be byte-identical with zero assembly sims.
+func TestShardRetryResumesFromStore(t *testing.T) {
+	spec := orchSpec()
+	ref, err := campaign.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutcome(t, ref) + "\n"
+
+	sim := &countingSim{Simulator: campaign.Default()}
+	worker := &fakeWorker{t: t, spec: spec, sim: sim, dieShard: 1, dieAfter: 1}
+	var stdout, log bytes.Buffer
+	rep, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    3,
+		Runners:   []Runner{worker},
+		Assembler: worker,
+		StoreRoot: t.TempDir(),
+		Retries:   1,
+		Stdout:    &stdout,
+		Stderr:    &log,
+	})
+	if err != nil {
+		t.Fatalf("orchestrated run failed: %v\n%s", err, log.String())
+	}
+	if got := rep.Shards[1].Attempts; got != 2 {
+		t.Errorf("shard 1 attempts = %d, want 2 (die once, resume once)", got)
+	}
+	for _, i := range []int{0, 2} {
+		if got := rep.Shards[i].Attempts; got != 1 {
+			t.Errorf("shard %d attempts = %d, want 1", i, got)
+		}
+	}
+	cellCount := len(spec.Workloads) * len(spec.Points)
+	if got := int(sim.runs.Load()); got != cellCount {
+		t.Errorf("protected simulations = %d, want %d (resume must only simulate missing cells)", got, cellCount)
+	}
+	if stdout.String() != want {
+		t.Error("assembly stdout differs from the single-host run after a retry")
+	}
+	if rep.Sims != 0 {
+		t.Errorf("assembly sims = %d, want 0", rep.Sims)
+	}
+	if !strings.Contains(log.String(), "relaunching") {
+		t.Errorf("retry not surfaced on stderr:\n%s", log.String())
+	}
+}
+
+// brokenWorker always fails after printing a diagnostic, so retries
+// can never save it.
+type brokenWorker struct{}
+
+func (brokenWorker) Name() string { return "broken" }
+
+func (brokenWorker) Run(ctx context.Context, argv []string, stdout, stderr io.Writer) error {
+	fmt.Fprintln(stderr, "panic: disk on fire")
+	return errors.New("exit status 2")
+}
+
+// TestShardFailureExhaustsRetries asserts a shard that keeps dying
+// fails the sweep after its retry budget, carrying the worker's
+// stderr tail in the error.
+func TestShardFailureExhaustsRetries(t *testing.T) {
+	rep, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    2,
+		Runners:   []Runner{brokenWorker{}},
+		StoreRoot: t.TempDir(),
+		Retries:   1,
+	})
+	if err == nil {
+		t.Fatal("sweep succeeded with a permanently broken runner")
+	}
+	if !strings.Contains(err.Error(), "failed after 2 attempt(s)") {
+		t.Errorf("error does not mention the retry budget: %v", err)
+	}
+	if !strings.Contains(err.Error(), "disk on fire") {
+		t.Errorf("error does not carry the stderr tail: %v", err)
+	}
+	// The first shard to exhaust its budget cancels the other, which
+	// may then stop after any number of attempts — but at least one
+	// shard must have burned the full budget.
+	exhausted := 0
+	for i := range rep.Shards {
+		if rep.Shards[i].Attempts == 2 {
+			exhausted++
+		}
+	}
+	if exhausted == 0 {
+		t.Errorf("no shard reached 2 attempts: %+v", rep.Shards)
+	}
+}
+
+// muteWorker succeeds for shard runs but ignores -progress-json, like
+// a wrapper script that swallows stderr.
+type muteWorker struct{ fakeWorker }
+
+func (m *muteWorker) Run(ctx context.Context, argv []string, stdout, stderr io.Writer) error {
+	return m.fakeWorker.Run(ctx, argv, stdout, io.Discard)
+}
+
+// TestAssemblyWithoutEventsFails asserts an assembly pass that emits
+// no protocol events is an error, not a vacuous misses=0 success: the
+// zero-simulation contract was never actually checked.
+func TestAssemblyWithoutEventsFails(t *testing.T) {
+	spec := orchSpec()
+	worker := &fakeWorker{t: t, spec: spec, sim: campaign.Default(), dieShard: -1}
+	mute := &muteWorker{fakeWorker{t: t, spec: spec, sim: campaign.Default(), dieShard: -1}}
+	_, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    2,
+		Runners:   []Runner{worker},
+		Assembler: mute,
+		StoreRoot: t.TempDir(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "no progress events") {
+		t.Errorf("silent assembly accepted: %v", err)
+	}
+}
+
+// TestRunValidatesOptions covers the option-level refusals.
+func TestRunValidatesOptions(t *testing.T) {
+	cases := []Options{
+		{Shards: 2, StoreRoot: "x"},                                         // no argv
+		{Argv: []string{"c"}, Shards: 0, StoreRoot: "x"},                    // no shards
+		{Argv: []string{"c"}, Shards: 2},                                    // no store root
+		{Argv: []string{"c"}, Shards: 2, StoreRoot: "x", Strategy: "bogus"}, // bad strategy
+	}
+	for i, o := range cases {
+		if _, err := Run(context.Background(), o); err == nil {
+			t.Errorf("case %d accepted: %+v", i, o)
+		}
+	}
+}
+
+// TestLocalRunner exercises the real subprocess runner's stream
+// wiring and exit-code mapping.
+func TestLocalRunner(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := Local{}.Run(context.Background(), []string{"sh", "-c", "echo out; echo err 1>&2"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != "out\n" || stderr.String() != "err\n" {
+		t.Errorf("streams miswired: stdout %q stderr %q", stdout.String(), stderr.String())
+	}
+	if err := (Local{}).Run(context.Background(), []string{"sh", "-c", "exit 3"}, io.Discard, io.Discard); err == nil {
+		t.Error("non-zero exit reported as success")
+	}
+}
+
+// TestShellJoin pins the ssh-side quoting.
+func TestShellJoin(t *testing.T) {
+	got := shellJoin([]string{"./experiments", "-run", "fig 7", "it's"})
+	want := `'./experiments' '-run' 'fig 7' 'it'\''s'`
+	if got != want {
+		t.Errorf("shellJoin = %s, want %s", got, want)
+	}
+}
+
+// TestSSHArgs pins the ssh argv shape — options, then `--` BEFORE the
+// destination (OpenSSH stops option parsing at the destination, so a
+// later `--` would become the first word of the remote command and
+// the remote shell would reject it) — and proves the remote command
+// string actually executes under a POSIX shell.
+func TestSSHArgs(t *testing.T) {
+	s := SSH{Host: "hosta", Options: []string{"-o", "BatchMode=yes"}, Dir: "/w"}
+	got := s.args([]string{"./experiments", "-run", "fig7"})
+	want := []string{"-o", "BatchMode=yes", "--", "hosta", `cd '/w' && './experiments' '-run' 'fig7'`}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("ssh args = %q, want %q", got, want)
+	}
+
+	// What ssh hands the remote shell must run as `sh -c <string>`.
+	remote := SSH{Host: "h"}.args([]string{"echo", "remote ok"})
+	var out bytes.Buffer
+	if err := (Local{}).Run(context.Background(), []string{"sh", "-c", remote[len(remote)-1]}, &out, io.Discard); err != nil {
+		t.Fatalf("remote command string rejected by sh: %v", err)
+	}
+	if out.String() != "remote ok\n" {
+		t.Errorf("remote command output = %q", out.String())
+	}
+}

@@ -1,0 +1,158 @@
+package orchestrator
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"paradet/internal/campaign"
+)
+
+// TestEventGoldenLine pins the progress-line wire format. The field
+// names and order are a public interface — pdsweep and any external
+// tool parse them — so changing this golden requires bumping
+// ProtocolVersion, not editing the test.
+func TestEventGoldenLine(t *testing.T) {
+	line, err := json.Marshal(Event{
+		V:         1,
+		Shard:     2,
+		Shards:    3,
+		Cell:      7,
+		Done:      4,
+		Total:     9,
+		Hit:       true,
+		Hits:      3,
+		Sims:      1,
+		Workload:  "stream",
+		Point:     "tableI",
+		Scheme:    "protected",
+		ElapsedMS: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"v":1,"shard":2,"shards":3,"cell":7,"done":4,"total":9,"hit":true,` +
+		`"hits":3,"sims":1,"workload":"stream","point":"tableI","scheme":"protected","elapsed_ms":1500}`
+	if string(line) != want {
+		t.Errorf("progress line schema drifted:\n got %s\nwant %s", line, want)
+	}
+	// Err is omitted when empty and appended when set.
+	withErr, _ := json.Marshal(Event{V: 1, Err: "boom"})
+	if !strings.HasSuffix(string(withErr), `"elapsed_ms":0,"err":"boom"}`) {
+		t.Errorf("err field encoding drifted: %s", withErr)
+	}
+}
+
+// TestEmitterAccumulatesAcrossSweeps drives the emitter with two
+// consecutive sweeps (the engine's Done counter resets between them,
+// as in experiments -run all) and asserts the emitted totals are
+// cumulative and the events round-trip through the decoder.
+func TestEmitterAccumulatesAcrossSweeps(t *testing.T) {
+	var buf bytes.Buffer
+	emit := Emitter(&buf, &campaign.Shard{Index: 1, Count: 2}, time.Now())
+
+	// Sweep one: two cells, one sim then one hit.
+	emit(campaign.Progress{Done: 1, Total: 2, Cell: 0, CellSims: 1, Workload: "a", Label: "p", Scheme: "protected"})
+	emit(campaign.Progress{Done: 2, Total: 2, Cell: 2, CellSims: 1, CellHits: 1, Cached: true, Workload: "b", Label: "p", Scheme: "protected"})
+	// Sweep two begins: Done resets to 1.
+	emit(campaign.Progress{Done: 1, Total: 3, Cell: 4, CellSims: 1, BaselineSims: 1, Workload: "a", Label: "q", Scheme: "protected",
+		Err: errors.New("bad cell")})
+
+	var events []Event
+	dec := &Decoder{OnEvent: func(e Event) { events = append(events, e) }}
+	if _, err := dec.Write(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e.Shard != 1 || e.Shards != 2 {
+			t.Errorf("event %d shard = %d/%d, want 1/2", i, e.Shard, e.Shards)
+		}
+		if e.ElapsedMS < 0 {
+			t.Errorf("event %d elapsed %d < 0", i, e.ElapsedMS)
+		}
+	}
+	if e := events[1]; !e.Hit || e.Done != 2 || e.Total != 2 || e.Hits != 1 || e.Sims != 1 || e.Cell != 2 {
+		t.Errorf("sweep-1 final event = %+v", e)
+	}
+	// The second sweep folds the first into its base: done 2+1,
+	// total 2+3, sims 1+2, hits 1+0.
+	if e := events[2]; e.Done != 3 || e.Total != 5 || e.Sims != 3 || e.Hits != 1 || e.Err != "bad cell" {
+		t.Errorf("cross-sweep accumulation = %+v", e)
+	}
+}
+
+// TestDecoderInterleavedAndPartial feeds the decoder a worker stream
+// in adversarial chunks: protocol lines split mid-JSON, ordinary
+// diagnostics interleaved between them, and a final unterminated
+// protocol line only recovered by Close.
+func TestDecoderInterleavedAndPartial(t *testing.T) {
+	e1, _ := json.Marshal(Event{V: 1, Shard: 0, Shards: 2, Done: 1, Total: 4})
+	e2, _ := json.Marshal(Event{V: 1, Shard: 0, Shards: 2, Done: 2, Total: 4})
+	e3, _ := json.Marshal(Event{V: 1, Shard: 0, Shards: 2, Done: 3, Total: 4})
+	stream := string(e1) + "\nplain diagnostic line\r\n" + string(e2) + "\n" +
+		`{"v":99,"done":7}` + "\n{not json at all\n" + string(e3) // no trailing newline
+
+	var events []Event
+	var lines []string
+	dec := &Decoder{
+		OnEvent: func(e Event) { events = append(events, e) },
+		OnLine:  func(s string) { lines = append(lines, s) },
+	}
+	// Write in 7-byte chunks so every line arrives fragmented.
+	for b := []byte(stream); len(b) > 0; {
+		n := 7
+		if n > len(b) {
+			n = len(b)
+		}
+		if _, err := dec.Write(b[:n]); err != nil {
+			t.Fatal(err)
+		}
+		b = b[n:]
+	}
+	if len(events) != 2 {
+		t.Fatalf("before Close: %d events, want 2", len(events))
+	}
+	dec.Close()
+	if len(events) != 3 {
+		t.Fatalf("after Close: %d events, want 3 (trailing line lost)", len(events))
+	}
+	for i, e := range events {
+		if e.Done != i+1 {
+			t.Errorf("event %d done = %d, want %d (order lost)", i, e.Done, i+1)
+		}
+	}
+	// The plain line, the foreign-version line and the junk line all
+	// surface as text, not events; the \r is stripped.
+	want := []string{"plain diagnostic line", `{"v":99,"done":7}`, "{not json at all"}
+	if fmt.Sprint(lines) != fmt.Sprint(want) {
+		t.Errorf("plain lines = %q, want %q", lines, want)
+	}
+}
+
+// TestTailBuffer asserts the stderr tail keeps the newest lines within
+// its byte budget, and always at least one.
+func TestTailBuffer(t *testing.T) {
+	tb := &tailBuffer{max: 24}
+	for i := 0; i < 10; i++ {
+		tb.add(fmt.Sprintf("line-%d", i))
+	}
+	got := tb.String()
+	if !strings.HasSuffix(got, "line-9") {
+		t.Errorf("tail lost the newest line: %q", got)
+	}
+	if strings.Contains(got, "line-0") || len(got) > 24 {
+		t.Errorf("tail did not evict old lines: %q", got)
+	}
+	one := &tailBuffer{max: 4}
+	one.add("a very long single line that exceeds the budget")
+	if one.String() == "" {
+		t.Error("tail must keep at least one line")
+	}
+}

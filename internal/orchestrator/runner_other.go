@@ -1,0 +1,16 @@
+//go:build !unix
+
+package orchestrator
+
+import (
+	"os/exec"
+	"time"
+)
+
+// killGroup on non-unix platforms only bounds Wait; cancellation
+// falls back to exec.CommandContext's default child kill, which may
+// orphan grandchildren (run pdsweep against a built binary, not
+// `go run`, on these platforms).
+func killGroup(cmd *exec.Cmd) {
+	cmd.WaitDelay = 5 * time.Second
+}

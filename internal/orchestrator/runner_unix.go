@@ -1,0 +1,27 @@
+//go:build unix
+
+package orchestrator
+
+import (
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// killGroup makes cancellation reach the worker's whole process tree,
+// not just the direct child: `pdsweep -n 3 go run ./cmd/experiments`
+// runs the real worker as a grandchild, and killing only `go run`
+// would orphan a simulator that keeps running (and writing its store)
+// after the sweep was abandoned. The child gets its own process group
+// and cancellation SIGKILLs the group; WaitDelay stops Wait from
+// hanging on pipes a stray descendant still holds.
+func killGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	cmd.Cancel = func() error {
+		if cmd.Process == nil {
+			return nil
+		}
+		return syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+	}
+	cmd.WaitDelay = 5 * time.Second
+}

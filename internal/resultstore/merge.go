@@ -103,6 +103,18 @@ func (m MergeStats) String() string {
 		m.Sources, m.Copied, m.Dups, m.Corrupt, m.Indexed)
 }
 
+// Strict converts skipped corrupt cells into an error. Interactive
+// merges tolerate corruption (a skipped cell just re-simulates), but
+// orchestrated merges — pdstore merge -strict, pdsweep — must fail
+// loudly: a silently thinner store turns into surprise simulation work
+// at assembly time.
+func (m MergeStats) Strict() error {
+	if m.Corrupt > 0 {
+		return fmt.Errorf("resultstore: merge skipped %d corrupt cell(s)", m.Corrupt)
+	}
+	return nil
+}
+
 // RebuildIndex regenerates index.jsonl from the cell tree, replacing
 // whatever journal was there: sorted by fingerprint, one entry per
 // readable cell, created times taken from file modification times. It

@@ -116,6 +116,14 @@ func TestMergeSkipsCorruptCells(t *testing.T) {
 	if _, ok := dst.Get(bad); ok {
 		t.Error("corrupt cell must not be copied")
 	}
+	// Strict mode (pdstore merge -strict, pdsweep) turns the skip into
+	// an error; a clean merge stays nil.
+	if err := st.Strict(); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("Strict() on a corrupt-skipping merge = %v, want corrupt-cell error", err)
+	}
+	if err := (MergeStats{Copied: 3}).Strict(); err != nil {
+		t.Errorf("Strict() on a clean merge = %v, want nil", err)
+	}
 }
 
 // TestMergeRefusesCrossSchema asserts a source carrying a different
