@@ -6,25 +6,41 @@
 //
 //	pdstore merge -into merged shard0 shard1 shard2
 //	pdstore stats .pdstore
+//	pdstore compact .pdstore
+//	pdstore compact -older-than 24h -dry-run .pdstore
 //	pdstore gc -older-than 720h .pdstore
 //	pdstore gc -older-than 720h -dry-run .pdstore
 //	pdstore verify .pdstore
 //
 // merge folds per-shard stores into one: cells missing from the
-// destination are copied, duplicate fingerprints are deduplicated,
-// corrupt cells are skipped with a warning (-strict turns skipped
-// cells into a non-zero exit, for orchestrated merges that must fail
-// loudly), cross-SchemaVersion stores are refused, and the destination
-// index is rebuilt from the merged cell tree. Re-running the campaign
-// against the merged store with -store then assembles the full sweep
-// at zero simulation cost.
+// destination are copied (out of loose trees and packed segments
+// alike), duplicate fingerprints are deduplicated, corrupt cells are
+// skipped with a warning (-strict turns skipped cells into a non-zero
+// exit, for orchestrated merges that must fail loudly),
+// cross-SchemaVersion stores are refused, and the destination index is
+// rebuilt from the merged store. Re-running the campaign against the
+// merged store with -store then assembles the full sweep at zero
+// simulation cost.
+//
+// compact batches cold loose cells into one packed, checksummed
+// segment file under segments/ — the cure for one-file-per-cell trees
+// that crawl on network filesystems at paper scale — deleting the
+// loose copies only after the published segment re-verifies. Reads
+// fall through loose cells to segments transparently and writes still
+// land loose, so compaction never races live sweeps.
 //
 // stats reports the per-scheme footprint (cells, fault cells, bytes)
-// plus index health. gc ages out cells not written since -older-than
-// ago and rebuilds the index; everything it removes simply
-// re-simulates on next use. verify checks every cell's fingerprint
-// against its content and the index against the tree, exiting 1 on
+// across both layouts, plus segment and index health. gc ages out
+// cells not written since -older-than ago (whole segments once every
+// record in them is that old) and rebuilds the index; everything it
+// removes simply re-simulates on next use. verify checks every loose
+// cell's fingerprint against its content, every segment's footer and
+// per-record checksums, and the index against the store, exiting 1 on
 // any inconsistency.
+//
+// Subcommands never create a store: they operate on directories some
+// campaign already wrote (only merge's -into destination is created),
+// and -dry-run passes are strictly read-only.
 package main
 
 import (
@@ -43,16 +59,19 @@ Usage:
   pdstore merge [-strict] -into DIR SRC [SRC...]
                                          fold source stores into DIR (-strict:
                                          exit 1 if corrupt cells were skipped)
-  pdstore stats DIR                      per-scheme footprint + index health
+  pdstore stats DIR                      per-scheme footprint + segment/index health
+  pdstore compact [-older-than DUR] [-dry-run] DIR
+                                         pack cold loose cells into a segment file
   pdstore gc -older-than DUR [-dry-run] DIR
                                          age out cells (e.g. -older-than 720h)
-  pdstore verify DIR                     check fingerprints and index; exit 1 on damage
+  pdstore verify DIR                     check cells, segments and index; exit 1 on damage
 
 Examples (sharding a sweep across 3 hosts):
 
   experiments -run fig7 -shard 0/3 -store shard0    # on host 0, etc.
   pdstore merge -into merged shard0 shard1 shard2
   experiments -run fig7 -store merged               # assembles: zero simulations
+  pdstore compact merged                            # pack the tree for archival reuse
 `
 
 func main() {
@@ -69,6 +88,8 @@ func main() {
 		err = runMerge(args[1:])
 	case "stats":
 		err = runStats(args[1:])
+	case "compact":
+		err = runCompact(args[1:])
 	case "gc":
 		err = runGC(args[1:])
 	case "verify":
@@ -87,14 +108,11 @@ func main() {
 
 // open opens an existing store, refusing to invent one: every pdstore
 // subcommand except the merge destination operates on stores some
-// campaign already wrote.
+// campaign already wrote. OpenExisting also guarantees the open itself
+// writes nothing, so read-only subcommands (stats, verify, -dry-run
+// passes) leave no trace on disk.
 func open(dir string) (*resultstore.Store, error) {
-	if fi, err := os.Stat(dir); err != nil {
-		return nil, err
-	} else if !fi.IsDir() {
-		return nil, fmt.Errorf("%s is not a directory", dir)
-	}
-	return resultstore.Open(dir)
+	return resultstore.OpenExisting(dir)
 }
 
 func runMerge(args []string) error {
@@ -150,14 +168,50 @@ func runStats(args []string) error {
 	for _, row := range fp.Schemes {
 		fmt.Printf("  %-14s %8d %8d %10.1f\n", row.Scheme, row.Cells, row.Faults, float64(row.Bytes)/1024)
 	}
+	if fp.Segments > 0 || fp.BrokenSegments > 0 {
+		fmt.Printf("  layout: %d loose, %d packed in %d segment(s) (%.1f KiB on disk)\n",
+			fp.LooseCells, fp.SegmentCells, fp.Segments, float64(fp.SegmentBytes)/1024)
+	}
 	fmt.Printf("  index: %d entries", fp.IndexEntries)
 	if fp.IndexEntries != fp.Cells {
-		fmt.Printf(" (tree has %d cells; run gc or merge to rebuild)", fp.Cells)
+		fmt.Printf(" (store has %d cells; run gc or merge to rebuild)", fp.Cells)
 	}
 	fmt.Println()
 	if fp.Corrupt > 0 {
 		fmt.Printf("  corrupt: %d unreadable cell file(s) (run verify for detail)\n", fp.Corrupt)
 	}
+	if fp.BrokenSegments > 0 {
+		fmt.Printf("  corrupt: %d broken segment file(s) (run verify for detail)\n", fp.BrokenSegments)
+	}
+	return nil
+}
+
+func runCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	olderThan := fs.Duration("older-than", 0, "pack only cells not written for this long (default: pack everything)")
+	dry := fs.Bool("dry-run", false, "report what would be packed without touching the store")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("compact: want exactly one store directory")
+	}
+	s, err := open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	opts := resultstore.CompactOptions{DryRun: *dry}
+	if *olderThan > 0 {
+		opts.OlderThan = time.Now().Add(-*olderThan)
+	}
+	st, err := s.Compact(opts)
+	if err != nil {
+		return err
+	}
+	if *dry {
+		fmt.Printf("%s: would pack %d of %d loose cell(s) (%d duplicate, %d hot, %d corrupt left loose)\n",
+			s.Dir(), st.Packed, st.Loose, st.Dups, st.Hot, st.Corrupt)
+		return nil
+	}
+	fmt.Printf("%s: %s\n", s.Dir(), st)
 	return nil
 }
 
@@ -181,8 +235,12 @@ func runGC(args []string) error {
 	if *dry {
 		verb = "would remove"
 	}
-	fmt.Printf("%s: scanned %d cells, %s %d (%.1f KiB), kept %d\n",
+	fmt.Printf("%s: scanned %d cells, %s %d (%.1f KiB), kept %d",
 		s.Dir(), st.Scanned, verb, st.Removed, float64(st.RemovedBytes)/1024, st.Kept)
+	if st.SegmentsRemoved > 0 {
+		fmt.Printf(", %d whole segment(s)", st.SegmentsRemoved)
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	pdsweep -n 3 go run ./cmd/experiments -run fig7
+//	pdsweep -n 3 -compact -store-root /tmp/sweep go run ./cmd/experiments -run fig7
 //	pdsweep -n 4 -retries 2 -store-root /tmp/sweep ./experiments -run fig9
 //	pdsweep -n 2 -ssh hosta,hostb -store-root /shared/sweep ./experiments -run fig7
 //	pdsweep -n 3 go run ./cmd/hetsim -workload bitcount -fault-targets all
@@ -52,6 +53,7 @@ func main() {
 	storeRoot := flag.String("store-root", "", "directory for shard and merged stores (default: temp dir, removed on success); reuse it to resume an interrupted sweep; with -ssh it must be on a shared filesystem")
 	sshHosts := flag.String("ssh", "", "comma-separated ssh hosts to run shard workers on, assigned round-robin (default: local subprocesses)")
 	strategyArg := flag.String("shard-strategy", string(campaign.StrategyWeighted), "cell assignment: weighted (balance summed instruction samples) or round-robin")
+	compact := flag.Bool("compact", false, "pack the merged store into a segment file before assembly (keep -store-root to reuse the packed store)")
 	tick := flag.Duration("tick", time.Second, "minimum interval between progress lines on stderr")
 	flag.Parse()
 
@@ -133,6 +135,7 @@ func main() {
 		StoreRoot: root,
 		Strategy:  strategy,
 		Retries:   *retries,
+		Compact:   *compact,
 		Progress:  progress,
 		Stdout:    os.Stdout,
 		Stderr:    os.Stderr,
@@ -152,8 +155,12 @@ func main() {
 
 	// CI greps this exact shape; misses is always 0 here (the
 	// orchestrator fails the sweep otherwise).
-	fmt.Fprintf(os.Stderr, "pdsweep: %d shard(s) ok, %d retr%s · %s · assembled cells=%d hits=%d misses=%d · %.1fs\n",
-		*n, rep.Retried(), plural(rep.Retried(), "y", "ies"), rep.Merge, rep.Cells, rep.Hits, rep.Sims,
+	compacted := ""
+	if rep.Compact != nil {
+		compacted = fmt.Sprintf(" · compacted %d cell(s)", rep.Compact.Packed)
+	}
+	fmt.Fprintf(os.Stderr, "pdsweep: %d shard(s) ok, %d retr%s · %s · assembled cells=%d hits=%d misses=%d%s · %.1fs\n",
+		*n, rep.Retried(), plural(rep.Retried(), "y", "ies"), rep.Merge, rep.Cells, rep.Hits, rep.Sims, compacted,
 		time.Since(start).Seconds())
 	if cleanup {
 		os.RemoveAll(root)

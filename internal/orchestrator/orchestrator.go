@@ -47,6 +47,12 @@ type Options struct {
 	// Retries is how many times one shard may be relaunched after a
 	// failure before the sweep is abandoned.
 	Retries int
+	// Compact, when set, packs the merged store into a segment file
+	// after the strict merge and before assembly, so the assembly pass
+	// (and any later reuse of the store) reads through the packed
+	// layout — and proves in the same breath that compaction preserved
+	// every cell, because assembly still demands zero simulations.
+	Compact bool
 	// TailBytes bounds the per-shard stderr tail kept for error
 	// reports (0 = 4096).
 	TailBytes int
@@ -102,6 +108,9 @@ type Report struct {
 	Shards []ShardReport
 	// Merge is the shard-store recombination accounting.
 	Merge resultstore.MergeStats
+	// Compact is the post-merge compaction accounting (nil unless
+	// Options.Compact was set).
+	Compact *resultstore.CompactStats
 	// Cells, Hits and Sims are the assembly pass's final counters;
 	// Sims is always 0 on success (the orchestrator fails otherwise).
 	Cells, Hits, Sims int
@@ -231,6 +240,19 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	}
 	if err := rep.Merge.Strict(); err != nil {
 		return rep, fmt.Errorf("orchestrator: merge: %w", err)
+	}
+
+	// Optionally pack the merged store before assembly. Compaction
+	// verifies the published segment before deleting loose cells, and
+	// the assembly pass's zero-simulation contract then re-proves every
+	// cell is still served — now through the segment read path.
+	if o.Compact {
+		cst, err := dst.Compact(resultstore.CompactOptions{})
+		if err != nil {
+			return rep, fmt.Errorf("orchestrator: compact: %w", err)
+		}
+		rep.Compact = &cst
+		fmt.Fprintln(stderr, "orchestrator: compacted merged store:", cst)
 	}
 
 	// Assemble: re-run the campaign unsharded against the merged

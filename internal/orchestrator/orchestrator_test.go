@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -228,6 +229,65 @@ func TestOrchestratedSweepEquivalence(t *testing.T) {
 	}
 	if !sawSlowest {
 		t.Error("no in-flight snapshot named a slowest shard")
+	}
+}
+
+// TestOrchestratedCompaction runs the 3-shard sweep with post-merge
+// compaction: the merged store must end up fully packed (no loose
+// cells), the assembly pass must read everything through the segment
+// layer with zero simulations, and stdout must still be byte-identical
+// to the single-host run.
+func TestOrchestratedCompaction(t *testing.T) {
+	spec := orchSpec()
+	ref, err := campaign.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutcome(t, ref) + "\n"
+
+	worker := &fakeWorker{t: t, spec: spec, sim: campaign.Default(), dieShard: -1}
+	root := t.TempDir()
+	var stdout, log bytes.Buffer
+	rep, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    3,
+		Runners:   []Runner{worker},
+		Assembler: worker,
+		StoreRoot: root,
+		Compact:   true,
+		Stdout:    &stdout,
+		Stderr:    &log,
+	})
+	if err != nil {
+		t.Fatalf("orchestrated run failed: %v\n%s", err, log.String())
+	}
+	if rep.Compact == nil || rep.Compact.Packed == 0 {
+		t.Fatalf("compaction stats missing: %+v", rep.Compact)
+	}
+	if rep.Compact.Packed != rep.Merge.Copied {
+		t.Errorf("packed %d cells, merge copied %d — compaction must cover the whole merge",
+			rep.Compact.Packed, rep.Merge.Copied)
+	}
+	if rep.Sims != 0 {
+		t.Errorf("assembly sims = %d, want 0 (served through segments)", rep.Sims)
+	}
+	if stdout.String() != want {
+		t.Error("assembly stdout differs from the single-host run after compaction")
+	}
+	// The merged store is fully packed: loose tree empty, one segment.
+	merged, err := resultstore.OpenExisting(filepath.Join(root, "merged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := merged.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.LooseCells != 0 || fp.Segments != 1 || fp.SegmentCells != rep.Merge.Copied {
+		t.Errorf("merged store layout = %+v, want fully packed into one segment", fp)
+	}
+	if !strings.Contains(log.String(), "compacted merged store") {
+		t.Errorf("compaction not surfaced on stderr:\n%s", log.String())
 	}
 }
 

@@ -1,0 +1,266 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"paradet"
+)
+
+// fuzzKey assembles a Key from fuzzer-chosen primitives. Nothing is
+// validated or clamped: the store must fingerprint any key injectively,
+// including adversarial workload names.
+func fuzzKey(workload, scheme string,
+	mainHz, checkerHz, timeoutInstrs, interruptNS, maxInstrs, seq uint64,
+	numCheckers, logBytes, entryBytes, checkerID, bit int,
+	checkpointCycles int64,
+	disable, big, hasFault, sticky bool,
+	target string) Key {
+	k := Key{
+		Workload: workload,
+		Scheme:   scheme,
+		Config: paradet.Config{
+			MainCoreHz:          mainHz,
+			CheckerHz:           checkerHz,
+			NumCheckers:         numCheckers,
+			LogBytes:            logBytes,
+			EntryBytes:          entryBytes,
+			TimeoutInstrs:       timeoutInstrs,
+			CheckpointCycles:    checkpointCycles,
+			InterruptIntervalNS: interruptNS,
+			MaxInstrs:           maxInstrs,
+			DisableCheckers:     disable,
+			BigCore:             big,
+		},
+	}
+	if hasFault {
+		k.Fault = &paradet.Fault{
+			Target:    paradet.FaultTarget(target),
+			Seq:       seq,
+			Bit:       uint8(bit),
+			Sticky:    sticky,
+			CheckerID: checkerID,
+		}
+	}
+	return k
+}
+
+// parseCanonicalField undoes canonField: quoted renderings unquote,
+// verbatim renderings pass through.
+func parseCanonicalField(t *testing.T, s string) string {
+	if strings.HasPrefix(s, `"`) {
+		out, err := strconv.Unquote(s)
+		if err != nil {
+			t.Fatalf("canonical field %q does not unquote: %v", s, err)
+		}
+		return out
+	}
+	return s
+}
+
+// FuzzCellRoundTrip is the satellite serialization fuzz target. For an
+// arbitrary key it asserts:
+//
+//   - decode(encode(cell)) round-trips: the JSON a Put writes, parsed
+//     back, recomputes the identical fingerprint from its identity
+//     fields (the invariant Merge, Verify and segments all lean on);
+//   - fingerprints are order-insensitive to map-like fields: the same
+//     JSON re-rendered through a Go map (which re-orders keys) still
+//     decodes to the same fingerprint — field order on disk is
+//     irrelevant;
+//   - the canonical serialization is injective per field: every
+//     free-form string survives a parse of the canonical text, so no
+//     adversarial workload name can smuggle extra canonical lines and
+//     alias a different key.
+func FuzzCellRoundTrip(f *testing.F) {
+	f.Add("stream", "protected",
+		uint64(1_000_000_000), uint64(250_000_000), uint64(0), uint64(0), uint64(10000), uint64(0),
+		12, 2048, 16, 0, 0, int64(0),
+		false, false, false, false, "")
+	f.Add("bitcount", "protected",
+		uint64(2_000_000_000), uint64(500_000_000), uint64(5000), uint64(100), uint64(4000), uint64(40),
+		8, 4096, 16, 2, 5, int64(1000),
+		false, true, true, true, "dest-reg")
+	f.Add("evil\nscheme=unprotected", "protected",
+		uint64(1), uint64(2), uint64(3), uint64(4), uint64(5), uint64(6),
+		1, 2, 3, 4, 5, int64(-1),
+		true, false, true, false, "store\"value")
+	f.Fuzz(func(t *testing.T, workload, scheme string,
+		mainHz, checkerHz, timeoutInstrs, interruptNS, maxInstrs, seq uint64,
+		numCheckers, logBytes, entryBytes, checkerID, bit int,
+		checkpointCycles int64,
+		disable, big, hasFault, sticky bool,
+		target string) {
+		k := fuzzKey(workload, scheme, mainHz, checkerHz, timeoutInstrs, interruptNS, maxInstrs, seq,
+			numCheckers, logBytes, entryBytes, checkerID, bit, checkpointCycles,
+			disable, big, hasFault, sticky, target)
+		fp := k.Fingerprint()
+
+		// The canonical form has a fixed line count; an input that
+		// changed it found an injection hole.
+		wantLines := 14
+		if hasFault {
+			wantLines = 19
+		}
+		canon := k.Canonical()
+		if got := strings.Count(canon, "\n"); got != wantLines {
+			t.Fatalf("canonical form has %d lines, want %d:\n%s", got, wantLines, canon)
+		}
+		// Injectivity: the free-form fields survive a parse of the
+		// canonical text, up to the UTF-8 canonicalisation JSON imposes
+		// anyway (invalid bytes become the replacement rune before
+		// fingerprinting, matching how the stored cell re-decodes).
+		lines := strings.Split(canon, "\n")
+		field := func(prefix string) string {
+			for _, l := range lines {
+				if v, ok := strings.CutPrefix(l, prefix); ok {
+					return parseCanonicalField(t, v)
+				}
+			}
+			t.Fatalf("canonical form missing %q:\n%s", prefix, canon)
+			return ""
+		}
+		utf8Canon := jsonValidUTF8
+		if got := field("workload="); got != utf8Canon(workload) {
+			t.Fatalf("workload does not survive canonicalisation: %q -> %q", workload, got)
+		}
+		if got := field("scheme="); got != utf8Canon(scheme) {
+			t.Fatalf("scheme does not survive canonicalisation: %q -> %q", scheme, got)
+		}
+		if hasFault {
+			if got := field("fault.target="); got != utf8Canon(target) {
+				t.Fatalf("fault target does not survive canonicalisation: %q -> %q", target, got)
+			}
+		}
+
+		// decode(encode(cell)) round-trip through the exact bytes Put
+		// writes.
+		cell := &Cell{
+			Schema:      SchemaVersion,
+			Fingerprint: fp,
+			Workload:    k.Workload,
+			Scheme:      k.Scheme,
+			Config:      k.Config,
+			Fault:       k.Fault,
+			Result:      &paradet.Result{Workload: k.Workload, Instructions: 7},
+		}
+		data, err := json.MarshalIndent(cell, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Cell
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		rk := Key{Workload: back.Workload, Scheme: back.Scheme, Config: back.Config, Fault: back.Fault}
+		if rk.Fingerprint() != fp {
+			t.Fatalf("fingerprint changed across encode/decode:\n%s\nvs\n%s", k.Canonical(), rk.Canonical())
+		}
+
+		// Order-insensitivity: re-render the JSON through a map, which
+		// sorts keys differently from the struct's field order. JSON
+		// numbers only survive a float64 detour below 2^53, so skip the
+		// reorder leg (not the whole case) beyond that.
+		const maxExact = uint64(1) << 53
+		exact := mainHz < maxExact && checkerHz < maxExact && timeoutInstrs < maxExact &&
+			interruptNS < maxExact && maxInstrs < maxExact && seq < maxExact &&
+			checkpointCycles < int64(maxExact) && checkpointCycles > -int64(maxExact)
+		if exact {
+			var m map[string]any
+			if err := json.Unmarshal(data, &m); err != nil {
+				t.Fatal(err)
+			}
+			reordered, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back2 Cell
+			if err := json.Unmarshal(reordered, &back2); err != nil {
+				t.Fatal(err)
+			}
+			rk2 := Key{Workload: back2.Workload, Scheme: back2.Scheme, Config: back2.Config, Fault: back2.Fault}
+			if rk2.Fingerprint() != fp {
+				t.Fatalf("fingerprint is sensitive to JSON field order:\n%s", reordered)
+			}
+		}
+	})
+}
+
+// FuzzSegmentOpen feeds arbitrary bytes to the segment reader: it must
+// never panic, never over-allocate from attacker-controlled lengths,
+// and any record it does serve must satisfy every integrity invariant
+// (a fuzzed file that forges all the checksums is still only able to
+// serve internally-consistent cells).
+func FuzzSegmentOpen(f *testing.F) {
+	// Seed with a real two-record segment plus characteristic damage.
+	seedDir := f.TempDir()
+	mk := func(workload string, instrs uint64) segSource {
+		cfg := paradet.DefaultConfig()
+		cfg.MaxInstrs = instrs
+		k := Key{Workload: workload, Scheme: "protected", Config: cfg}
+		c := &Cell{Schema: SchemaVersion, Fingerprint: k.Fingerprint(),
+			Workload: k.Workload, Scheme: k.Scheme, Config: k.Config,
+			Result: &paradet.Result{Workload: workload, Instructions: instrs}}
+		data, err := json.MarshalIndent(c, "", " ")
+		if err != nil {
+			f.Fatal(err)
+		}
+		return segSource{fp: c.Fingerprint, data: data, cell: c, created: time.Unix(0, 0)}
+	}
+	segPath, _, err := writeSegment(seedDir, []segSource{mk("stream", 1000), mk("bitcount", 2000)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(segPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(segMagic))
+	f.Add([]byte{})
+	flipped := append([]byte(nil), valid...)
+	flipped[len(segMagic)+6] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		path := filepath.Join(t.TempDir(), "00000001.seg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := openSegment(path)
+		if err != nil {
+			return // rejected closed: exactly what corrupt input deserves
+		}
+		for _, e := range r.footer.Entries {
+			c, payload, err := r.read(e)
+			if err != nil {
+				continue
+			}
+			// A record the reader serves must be internally consistent,
+			// whatever the file claimed.
+			sum := sha256.Sum256(payload)
+			if hex.EncodeToString(sum[:]) != e.SHA256 {
+				t.Fatal("read served a record whose payload hash mismatches the footer")
+			}
+			want := Key{Workload: c.Workload, Scheme: c.Scheme, Config: c.Config, Fault: c.Fault}.Fingerprint()
+			if c.Fingerprint != want || c.Fingerprint != e.Fingerprint {
+				t.Fatal("read served a record violating content addressing")
+			}
+			if c.Schema != SchemaVersion {
+				t.Fatal("read served a foreign-schema record")
+			}
+		}
+	})
+}

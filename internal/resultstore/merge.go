@@ -13,19 +13,25 @@ import (
 )
 
 // Merge copies every cell the destination store is missing out of the
-// source stores, in order. It is the recombination step for sharded
-// campaigns: N shards execute disjoint grid slices into their own
-// stores, Merge folds them into one, and campaign.Assemble replays the
-// full spec against the result at zero simulation cost.
+// source stores, in order — loose cells and packed segment records
+// alike. It is the recombination step for sharded campaigns: N shards
+// execute disjoint grid slices into their own stores, Merge folds them
+// into one, and campaign.Assemble replays the full spec against the
+// result at zero simulation cost.
 //
-// Cells already present in the destination are deduplicated by
-// fingerprint (content addressing makes the copies interchangeable).
-// Unreadable or fingerprint-inconsistent source cells are skipped with
-// a warning, never an error. A parseable source cell carrying a
-// different SchemaVersion refuses the whole merge before anything is
-// copied: its store belongs to an incompatible engine, and folding it
-// in would bury cells that can never hit. The destination index is
-// rebuilt from the merged cell tree afterwards.
+// Cells already present in the destination (in either layout) are
+// deduplicated by fingerprint (content addressing makes the copies
+// interchangeable). Source segment records land as loose cells in the
+// destination — byte-identical to the loose cell they were packed
+// from — so merging never creates segments; the operator compacts the
+// destination separately if wanted. Unreadable or
+// fingerprint-inconsistent source cells, and structurally broken
+// source segments, are skipped with a warning, never an error. A
+// parseable source cell or segment footer carrying a different
+// SchemaVersion refuses the whole merge before anything is copied: its
+// store belongs to an incompatible engine, and folding it in would
+// bury cells that can never hit. The destination index is rebuilt from
+// the merged store afterwards.
 func Merge(dst *Store, srcs ...*Store) (MergeStats, error) {
 	var st MergeStats
 	st.Sources = len(srcs)
@@ -50,8 +56,37 @@ func Merge(dst *Store, srcs ...*Store) (MergeStats, error) {
 					path, c.Schema, SchemaVersion)
 			}
 		}
+		readers, _ := src.segScan()
+		for _, r := range readers {
+			if r.footer.Schema != SchemaVersion {
+				return st, fmt.Errorf("resultstore: %s has schema %d, this engine writes schema %d: refusing cross-schema merge",
+					r.path, r.footer.Schema, SchemaVersion)
+			}
+		}
 	}
 
+	// Snapshot the destination's segment readers once (per-cell rescans
+	// would cost O(cells x segments) filesystem calls). Merge only adds
+	// loose cells, so the snapshot cannot go stale mid-merge; a packed
+	// dup is read-verified before it suppresses a copy.
+	dstReaders, _ := dst.segScan()
+	copyCell := func(fp string, data []byte) error {
+		if existing, _, ok := readCell(dst.cellPath(fp)); ok && existing.consistent(dst.cellPath(fp)) {
+			st.Dups++
+			return nil
+		}
+		for _, r := range dstReaders {
+			if c, _, err := r.get(fp); err == nil && c != nil {
+				st.Dups++
+				return nil
+			}
+		}
+		if err := writeFileAtomic(dst.cellPath(fp), data); err != nil {
+			return err
+		}
+		st.Copied++
+		return nil
+	}
 	for _, src := range srcs {
 		files, err := src.cellFiles()
 		if err != nil {
@@ -64,15 +99,27 @@ func Merge(dst *Store, srcs ...*Store) (MergeStats, error) {
 				st.Warnings = append(st.Warnings, fmt.Sprintf("skipping corrupt cell %s", path))
 				continue
 			}
-			target := filepath.Join(dst.dir, "cells", c.Fingerprint[:2], c.Fingerprint+".json")
-			if existing, _, ok := readCell(target); ok && existing.consistent(target) {
-				st.Dups++
-				continue
-			}
-			if err := writeFileAtomic(target, data); err != nil {
+			if err := copyCell(c.Fingerprint, data); err != nil {
 				return st, err
 			}
-			st.Copied++
+		}
+		readers, broken := src.segScan()
+		for _, path := range broken {
+			st.Corrupt++
+			st.Warnings = append(st.Warnings, fmt.Sprintf("skipping broken segment %s", path))
+		}
+		for _, r := range readers {
+			for _, e := range r.footer.Entries {
+				c, data, err := r.read(e)
+				if err != nil {
+					st.Corrupt++
+					st.Warnings = append(st.Warnings, fmt.Sprintf("skipping corrupt segment record: %v", err))
+					continue
+				}
+				if err := copyCell(c.Fingerprint, data); err != nil {
+					return st, err
+				}
+			}
 		}
 	}
 
@@ -115,18 +162,19 @@ func (m MergeStats) Strict() error {
 	return nil
 }
 
-// RebuildIndex regenerates index.jsonl from the cell tree, replacing
-// whatever journal was there: sorted by fingerprint, one entry per
-// readable cell, created times taken from file modification times. It
+// RebuildIndex regenerates index.jsonl from both layouts — the loose
+// cell tree and the packed segment footers — replacing whatever
+// journal was there: sorted by fingerprint, one entry per readable
+// cell (a cell present both loose and packed indexes once), created
+// times from loose file modification times or the segment footer. It
 // returns the number of cells indexed. This repairs indexes that lost
-// appends (they are advisory) and compacts after Merge or GC.
+// appends (they are advisory) and compacts after Merge, GC or Compact.
 func (s *Store) RebuildIndex() (int, error) {
 	files, err := s.cellFiles()
 	if err != nil {
 		return 0, err
 	}
-	var buf bytes.Buffer
-	n := 0
+	byFP := map[string]IndexEntry{}
 	for _, path := range files {
 		c, _, ok := readCell(path)
 		if !ok {
@@ -136,28 +184,51 @@ func (s *Store) RebuildIndex() (int, error) {
 		if fi, err := os.Stat(path); err == nil {
 			created = fi.ModTime().UTC().Format(time.RFC3339)
 		}
-		line, err := json.Marshal(IndexEntry{
+		byFP[c.Fingerprint] = IndexEntry{
 			Fingerprint: c.Fingerprint,
 			Workload:    c.Workload,
 			Scheme:      c.Scheme,
 			Created:     created,
-		})
+		}
+	}
+	readers, _ := s.segScan()
+	for _, r := range readers {
+		for _, e := range r.footer.Entries {
+			if _, ok := byFP[e.Fingerprint]; ok {
+				continue
+			}
+			byFP[e.Fingerprint] = IndexEntry{
+				Fingerprint: e.Fingerprint,
+				Workload:    e.Workload,
+				Scheme:      e.Scheme,
+				Created:     e.Created,
+			}
+		}
+	}
+	fps := make([]string, 0, len(byFP))
+	for fp := range byFP {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	var buf bytes.Buffer
+	for _, fp := range fps {
+		line, err := json.Marshal(byFP[fp])
 		if err != nil {
 			continue
 		}
 		buf.Write(line)
 		buf.WriteByte('\n')
-		n++
 	}
 	if err := writeFileAtomic(filepath.Join(s.dir, "index.jsonl"), buf.Bytes()); err != nil {
 		return 0, err
 	}
-	return n, nil
+	return len(fps), nil
 }
 
 // GCStats reports what a GC pass did (or, dry, would do).
 type GCStats struct {
-	// Scanned is the number of cell files examined.
+	// Scanned is the number of cells examined (loose files plus packed
+	// segment records).
 	Scanned int
 	// Removed counts cells older than the cutoff (deleted unless dry).
 	Removed int
@@ -165,12 +236,22 @@ type GCStats struct {
 	RemovedBytes int64
 	// Kept counts surviving cells.
 	Kept int
+	// SegmentsRemoved counts whole segment files aged out.
+	SegmentsRemoved int
 }
 
-// GC ages out cells whose file modification time predates cutoff and
-// rebuilds the index. Content addressing makes this always safe: an
-// aged-out cell simply re-simulates on next use. With dry set, GC only
-// reports what it would remove.
+// GC ages out loose cells whose file modification time predates cutoff
+// and whole segments every one of whose records was packed from a cell
+// that old (a segment holding even one fresh cell is kept intact —
+// segments are immutable, so partial removal is impossible). Content
+// addressing makes this always safe: an aged-out cell simply
+// re-simulates on next use. Structurally broken segments are left in
+// place for verify to report, never silently deleted. The index is
+// rebuilt afterwards.
+//
+// With dry set, GC only reports what it would remove; a dry pass is
+// strictly read-only — no deletion, no index rebuild, no directory
+// creation — even when the index is stale.
 func (s *Store) GC(cutoff time.Time, dry bool) (GCStats, error) {
 	files, err := s.cellFiles()
 	if err != nil {
@@ -193,6 +274,31 @@ func (s *Store) GC(cutoff time.Time, dry bool) (GCStats, error) {
 			os.Remove(path)
 		}
 	}
+	readers, _ := s.segScan()
+	for _, r := range readers {
+		st.Scanned += len(r.footer.Entries)
+		// A cell's age is when its loose original was written (footer
+		// Created), not when it was packed, so freshly-compacted
+		// segments of ancient cells still age out.
+		old := len(r.footer.Entries) > 0
+		for _, e := range r.footer.Entries {
+			created, err := time.Parse(time.RFC3339, e.Created)
+			if err != nil || created.After(cutoff) {
+				old = false // unparseable ages count as fresh: keep
+				break
+			}
+		}
+		if !old {
+			st.Kept += len(r.footer.Entries)
+			continue
+		}
+		st.Removed += len(r.footer.Entries)
+		st.RemovedBytes += r.size
+		st.SegmentsRemoved++
+		if !dry {
+			os.Remove(r.path)
+		}
+	}
 	if !dry {
 		if _, err := s.RebuildIndex(); err != nil {
 			return st, err
@@ -213,18 +319,33 @@ type SchemeFootprint struct {
 
 // Footprint summarises a store's on-disk contents.
 type Footprint struct {
-	// Cells and Bytes total every readable cell.
+	// Cells and Bytes total every readable cell across both layouts,
+	// deduplicated by fingerprint (a cell present loose and packed
+	// counts once).
 	Cells int
 	Bytes int64
+	// LooseCells counts cells living as individual files.
+	LooseCells int
 	// Corrupt counts unreadable cell files.
 	Corrupt int
+	// Segments counts packed segment files; SegmentCells the records
+	// inside them (net of loose shadows); SegmentBytes their file size.
+	Segments     int
+	SegmentCells int
+	SegmentBytes int64
+	// BrokenSegments counts structurally damaged segment files (run
+	// verify for detail).
+	BrokenSegments int
 	// IndexEntries is the advisory index's line count (may lag Cells).
 	IndexEntries int
 	// Schemes breaks the totals down per scheme, sorted by name.
 	Schemes []SchemeFootprint
 }
 
-// Footprint scans the cell tree and reports the per-scheme footprint.
+// Footprint scans the loose cell tree and the packed segments and
+// reports the per-scheme footprint. Compaction moves cells between
+// layouts without changing them, so per-scheme cell counts are
+// identical before and after a compact.
 func (s *Store) Footprint() (Footprint, error) {
 	files, err := s.cellFiles()
 	if err != nil {
@@ -232,6 +353,21 @@ func (s *Store) Footprint() (Footprint, error) {
 	}
 	var fp Footprint
 	byScheme := map[string]*SchemeFootprint{}
+	count := func(scheme string, size int64, fault bool) {
+		fp.Cells++
+		fp.Bytes += size
+		row := byScheme[scheme]
+		if row == nil {
+			row = &SchemeFootprint{Scheme: scheme}
+			byScheme[scheme] = row
+		}
+		row.Cells++
+		row.Bytes += size
+		if fault {
+			row.Faults++
+		}
+	}
+	seen := map[string]bool{}
 	for _, path := range files {
 		c, _, ok := readCell(path)
 		if !ok {
@@ -242,17 +378,22 @@ func (s *Store) Footprint() (Footprint, error) {
 		if fi, err := os.Stat(path); err == nil {
 			size = fi.Size()
 		}
-		fp.Cells++
-		fp.Bytes += size
-		row := byScheme[c.Scheme]
-		if row == nil {
-			row = &SchemeFootprint{Scheme: c.Scheme}
-			byScheme[c.Scheme] = row
-		}
-		row.Cells++
-		row.Bytes += size
-		if c.Fault != nil {
-			row.Faults++
+		fp.LooseCells++
+		seen[c.Fingerprint] = true
+		count(c.Scheme, size, c.Fault != nil)
+	}
+	readers, broken := s.segScan()
+	fp.BrokenSegments = len(broken)
+	for _, r := range readers {
+		fp.Segments++
+		fp.SegmentBytes += r.size
+		for _, e := range r.footer.Entries {
+			if seen[e.Fingerprint] {
+				continue // the loose copy already counted it
+			}
+			seen[e.Fingerprint] = true
+			fp.SegmentCells++
+			count(e.Scheme, e.Length, e.Fault)
 		}
 	}
 	for _, row := range byScheme {
@@ -267,23 +408,32 @@ func (s *Store) Footprint() (Footprint, error) {
 
 // VerifyReport is the outcome of a store integrity check.
 type VerifyReport struct {
-	// Cells counts cell files examined; Good counts the consistent ones.
+	// Cells counts cells examined (loose files plus segment records);
+	// Good counts the consistent ones.
 	Cells int
 	Good  int
+	// Segments counts segment files examined.
+	Segments int
 	// Problems describes every inconsistency found: unparseable cells,
-	// fingerprint mismatches, foreign schema versions, and index
-	// entries whose cell is gone.
+	// fingerprint mismatches, foreign schema versions, structurally
+	// damaged segments, corrupt segment records, and index entries
+	// whose cell is gone.
 	Problems []string
 }
 
 // OK reports whether the store verified clean.
 func (r VerifyReport) OK() bool { return len(r.Problems) == 0 }
 
-// Verify checks every cell file parses, carries this engine's schema
-// version, and fingerprints consistently with its own content and file
-// name, then cross-checks the index for entries pointing at missing
-// cells. Problems are reported, not repaired: Get already degrades
-// mismatches to misses, gc/rebuild-index clean them up.
+// Verify checks every loose cell file parses, carries this engine's
+// schema version, and fingerprints consistently with its own content
+// and file name; checks every segment's structure (magic, trailer,
+// footer checksum) and every packed record's payload checksum, parse,
+// schema and fingerprint; then cross-checks the index for entries
+// pointing at cells in neither layout. Problems are reported, not
+// repaired: Get already degrades mismatches to misses, and
+// gc/rebuild-index/compact clean them up. Segment footers are re-read
+// from disk here, bypassing the in-memory cache, so damage inflicted
+// after a segment was first read is still caught.
 func (s *Store) Verify() (VerifyReport, error) {
 	files, err := s.cellFiles()
 	if err != nil {
@@ -305,6 +455,30 @@ func (s *Store) Verify() (VerifyReport, error) {
 		case !c.consistent(path):
 			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: fingerprint does not match content", path))
 		default:
+			rep.Good++
+		}
+	}
+	segFiles, err := s.segmentFiles()
+	if err != nil {
+		return rep, err
+	}
+	for _, path := range segFiles {
+		rep.Segments++
+		r, err := openSegment(path)
+		if err != nil {
+			rep.Problems = append(rep.Problems, err.Error())
+			continue
+		}
+		if r.footer.Schema != SchemaVersion {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: footer schema %d, engine writes %d", path, r.footer.Schema, SchemaVersion))
+		}
+		for _, e := range r.footer.Entries {
+			rep.Cells++
+			if _, _, err := r.read(e); err != nil {
+				rep.Problems = append(rep.Problems, err.Error())
+				continue
+			}
+			onDisk[e.Fingerprint] = true
 			rep.Good++
 		}
 	}

@@ -231,6 +231,37 @@ func TestGCAgesOutOldCells(t *testing.T) {
 	}
 }
 
+// TestGCDryRunIsReadOnly is the regression test for the dry-run
+// contract: gc -dry-run must be strictly read-only — no cell deletion
+// and no index rebuild — even when the index is stale and a normal gc
+// would rewrite it. (The accounting must still be reported in full.)
+func TestGCDryRunIsReadOnly(t *testing.T) {
+	s := openStore(t)
+	old := putTestCell(t, s, "stream", 1000)
+	putTestCell(t, s, "bitcount", 1000)
+	past := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(s.Path(old), past, past); err != nil {
+		t.Fatal(err)
+	}
+	// Stale index: the journal lost its appends, so any index rebuild
+	// would visibly rewrite index.jsonl.
+	if err := os.Truncate(filepath.Join(s.Dir(), "index.jsonl"), 0); err != nil {
+		t.Fatal(err)
+	}
+	before := treeSnapshot(t, s.Dir())
+
+	st, err := s.GC(time.Now().Add(-24*time.Hour), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 1 || st.Kept != 1 {
+		t.Errorf("dry stats = %+v, want 1 removed / 1 kept", st)
+	}
+	if !sameTree(before, treeSnapshot(t, s.Dir())) {
+		t.Error("gc -dry-run modified the store (stale index must stay stale)")
+	}
+}
+
 // TestFootprint asserts the per-scheme breakdown.
 func TestFootprint(t *testing.T) {
 	s := openStore(t)

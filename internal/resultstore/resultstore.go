@@ -24,8 +24,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
+	"unicode/utf8"
 
 	"paradet"
 )
@@ -105,16 +108,64 @@ func canonicalConfig(c paradet.Config) string {
 	return b.String()
 }
 
+// canonField renders a free-form string field (workload, scheme, fault
+// target) for the canonical serialization. Names the registries
+// actually produce pass through verbatim, keeping every existing
+// fingerprint stable; two hardenings found by the serialization fuzz
+// test cover everything else:
+//
+//   - names carrying newlines, quotes or backslashes are Go-quoted, so
+//     an adversarial workload name cannot inject extra canonical lines
+//     and alias a different key (quoted and verbatim renderings never
+//     collide — a verbatim name contains no quote, a quoted rendering
+//     always starts with one);
+//   - invalid UTF-8 is first mapped to the Unicode replacement rune,
+//     exactly as encoding/json mangles it inside the stored cell, so
+//     decode(encode(cell)) recomputes the same fingerprint. Distinct
+//     raw names that mangle identically share a cell by construction:
+//     their encoded cells are byte-identical, a collision inherited
+//     from JSON, not introduced here.
+func canonField(s string) string {
+	s = jsonValidUTF8(s)
+	if strings.ContainsAny(s, "\n\r\"\\") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// jsonValidUTF8 rewrites s the way encoding/json's encoder does:
+// every individual invalid byte becomes U+FFFD. (strings.ToValidUTF8
+// is not the same function — it collapses a run of invalid bytes into
+// one replacement rune, which would fingerprint differently from the
+// re-decoded cell.)
+func jsonValidUTF8(s string) string {
+	if utf8.ValidString(s) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b.WriteRune(utf8.RuneError)
+			i++
+			continue
+		}
+		b.WriteString(s[i : i+size])
+		i += size
+	}
+	return b.String()
+}
+
 // Canonical renders the key's full canonical serialization, the exact
 // bytes the fingerprint hashes.
 func (k Key) Canonical() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "schema=%d\n", SchemaVersion)
-	fmt.Fprintf(&b, "workload=%s\n", k.Workload)
-	fmt.Fprintf(&b, "scheme=%s\n", k.Scheme)
+	fmt.Fprintf(&b, "workload=%s\n", canonField(k.Workload))
+	fmt.Fprintf(&b, "scheme=%s\n", canonField(k.Scheme))
 	b.WriteString(canonicalConfig(k.Config))
 	if f := k.Fault; f != nil {
-		fmt.Fprintf(&b, "fault.target=%s\n", f.Target)
+		fmt.Fprintf(&b, "fault.target=%s\n", canonField(string(f.Target)))
 		fmt.Fprintf(&b, "fault.seq=%d\n", f.Seq)
 		fmt.Fprintf(&b, "fault.bit=%d\n", f.Bit)
 		fmt.Fprintf(&b, "fault.sticky=%t\n", f.Sticky)
@@ -155,10 +206,14 @@ type IndexEntry struct {
 
 // Store is a campaign result store rooted at one directory. A Store
 // handle is safe for concurrent use, and separate processes may share
-// one directory: cell writes are atomic renames and the index is an
-// append-only journal.
+// one directory: cell writes are atomic renames, segments are
+// immutable once linked into place, and the index is an append-only
+// journal.
 type Store struct {
 	dir string
+	// segMu guards the lazily-built segment footer cache (segment.go).
+	segMu sync.Mutex
+	segs  map[string]*segCacheEntry
 }
 
 // Open opens (creating if necessary) a store rooted at dir.
@@ -172,31 +227,53 @@ func Open(dir string) (*Store, error) {
 	return &Store{dir: dir}, nil
 }
 
+// OpenExisting opens a store some campaign already wrote, creating and
+// modifying nothing: strictly read-only consumers (stats, verify, and
+// any -dry-run maintenance pass) must leave no trace on disk, not even
+// an empty cells directory.
+func OpenExisting(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstore: empty directory")
+	}
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("resultstore: %s is not a directory", dir)
+	}
+	return &Store{dir: dir}, nil
+}
+
 // Dir reports the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Path reports where the key's cell lives (whether or not it exists).
-func (s *Store) Path(k Key) string {
-	fp := k.Fingerprint()
+// Path reports where the key's loose cell lives (whether or not it
+// exists; the cell may instead live packed in a segment).
+func (s *Store) Path(k Key) string { return s.cellPath(k.Fingerprint()) }
+
+// cellPath maps a fingerprint to its loose-cell location.
+func (s *Store) cellPath(fp string) string {
 	return filepath.Join(s.dir, "cells", fp[:2], fp+".json")
 }
 
-// Get loads the cell for a key. Missing, unreadable, schema-mismatched
-// or fingerprint-mismatched cells all report a miss (false), so a
-// stale or corrupt store degrades to re-simulation, never to failure.
+// Get loads the cell for a key: the loose cell tree first (writes
+// always land there, so it is never staler than a segment), then the
+// packed segment index. Missing, unreadable, schema-mismatched or
+// fingerprint-mismatched cells in either layout report a miss (false),
+// so a stale or corrupt store degrades to re-simulation, never to
+// failure.
 func (s *Store) Get(k Key) (*Cell, bool) {
-	data, err := os.ReadFile(s.Path(k))
-	if err != nil {
-		return nil, false
+	fp := k.Fingerprint()
+	if data, err := os.ReadFile(s.cellPath(fp)); err == nil {
+		var c Cell
+		if json.Unmarshal(data, &c) == nil && c.Schema == SchemaVersion && c.Fingerprint == fp {
+			return &c, true
+		}
+		// A damaged loose cell still falls through: its packed twin (if
+		// any) is independently checksummed.
 	}
-	var c Cell
-	if err := json.Unmarshal(data, &c); err != nil {
-		return nil, false
-	}
-	if c.Schema != SchemaVersion || c.Fingerprint != k.Fingerprint() {
-		return nil, false
-	}
-	return &c, true
+	return s.segGet(fp)
 }
 
 // Put stores a cell under its key, filling the schema and fingerprint

@@ -1,0 +1,149 @@
+package resultstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"paradet"
+)
+
+// TestCompactRacesLooseWriters is the satellite concurrency contract,
+// meant to run under -race: several writers stream loose cells into
+// the store through their own handles (as separate shard processes
+// would) while a maintenance loop compacts the same store repeatedly.
+// When the dust settles every cell must be readable, appear exactly
+// once across the two layouts, and a merge into a fresh store must
+// copy exactly the distinct set — no lost cells, no duplicate
+// fingerprints.
+func TestCompactRacesLooseWriters(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err != nil { // create the store up front
+		t.Fatal(err)
+	}
+	const writers = 4
+	const perWriter = 30
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+1)
+	stop := make(chan struct{})
+	compactorDone := make(chan struct{})
+
+	// Maintenance loop: compact as fast as cells appear.
+	go func() {
+		defer close(compactorDone)
+		s, err := Open(dir)
+		if err != nil {
+			errs <- err
+			return
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Compact(CompactOptions{}); err != nil {
+				errs <- fmt.Errorf("compact: %w", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	key := func(w, i int) Key {
+		cfg := paradet.DefaultConfig()
+		cfg.MaxInstrs = uint64(1000 + i)
+		return Key{Workload: fmt.Sprintf("w%d", w), Scheme: "protected", Config: cfg}
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := Open(dir) // own handle, like a separate process
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < perWriter; i++ {
+				k := key(w, i)
+				if err := s.Put(k, &Cell{Result: &paradet.Result{Workload: k.Workload, Instructions: k.Config.MaxInstrs}}); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				// Read-your-writes through whatever layout the cell is
+				// in by now (loose, or already packed and deleted).
+				if c, ok := s.Get(k); !ok || c.Result.Instructions != k.Config.MaxInstrs {
+					errs <- fmt.Errorf("writer %d: cell %d unreadable mid-compaction", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case err := <-errs:
+		close(stop)
+		t.Fatal(err)
+	case <-done:
+	}
+	close(stop)
+	<-compactorDone
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Final compact so the last loose stragglers pack too, then audit.
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Compact(CompactOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	total := writers * perWriter
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if _, ok := s.Get(key(w, i)); !ok {
+				t.Fatalf("cell (%d,%d) lost", w, i)
+			}
+		}
+	}
+	fp, err := s.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Cells != total {
+		t.Errorf("distinct cells = %d, want %d", fp.Cells, total)
+	}
+	rep, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("store failed verify after the race: %v", rep.Problems)
+	}
+
+	// Merge into a fresh store: exactly the distinct set copies — the
+	// "no duplicate fingerprints after compact+merge" criterion. (Dups
+	// here would mean one fingerprint was served from two places.)
+	dst := openStore(t)
+	mst, err := Merge(dst, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mst.Copied != total || mst.Corrupt != 0 {
+		t.Errorf("merge stats = %+v, want %d copied / 0 corrupt", mst, total)
+	}
+	dfp, err := dst.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfp.Cells != total {
+		t.Errorf("merged cells = %d, want %d", dfp.Cells, total)
+	}
+}
