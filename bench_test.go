@@ -12,13 +12,12 @@ package paradet_test
 // reproduced numbers over time.
 
 import (
-	"context"
 	"fmt"
 	"testing"
 
 	"paradet"
+	"paradet/internal/bench"
 	"paradet/internal/campaign"
-	"paradet/internal/resultstore"
 )
 
 const benchInstrs = 40_000
@@ -407,94 +406,29 @@ func BenchmarkFaultCampaign(b *testing.B) {
 
 // BenchmarkFaultGridCampaign measures the first-class fault-campaign
 // path: a deterministic target × seq × bit grid classified through the
-// campaign engine with a memoised golden run.
-func BenchmarkFaultGridCampaign(b *testing.B) {
-	spec := campaign.Spec{
-		Name:      "bench-faultgrid",
-		Workloads: []string{"bitcount"},
-		Points:    []campaign.Point{benchPoint("tableI", nil)},
-		Faults: &campaign.FaultGrid{
-			Targets: []paradet.FaultTarget{paradet.FaultDestReg, paradet.FaultStoreValue},
-			Seqs:    []uint64{40, 400},
-			Bits:    []uint8{5},
-		},
-	}
-	for i := 0; i < b.N; i++ {
-		out := benchSweep(b, spec)
-		if i == 0 {
-			b.ReportMetric(float64(len(out.Results)), "faults")
-		}
-	}
-}
+// campaign engine with a memoised golden run. (Pinned subset: shared
+// with cmd/pdbench via internal/bench.)
+func BenchmarkFaultGridCampaign(b *testing.B) { bench.FaultGridCampaign(b) }
 
 // BenchmarkStoreWarmSweep measures the persistent result store's
 // cache-hit path: a Fig. 7-shaped sweep against a fully warm store,
-// which must perform zero simulations per iteration.
-func BenchmarkStoreWarmSweep(b *testing.B) {
-	st, err := resultstore.Open(b.TempDir())
-	if err != nil {
-		b.Fatal(err)
-	}
-	spec := campaign.Spec{
-		Name:         "bench-store",
-		Workloads:    []string{"stream", "randacc", "bitcount"},
-		Points:       []campaign.Point{benchPoint("tableI", nil)},
-		WithBaseline: true,
-	}
-	warm, err := campaign.ExecuteContext(context.Background(), spec, nil, campaign.Options{Store: st})
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := warm.Err(); err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		out, err := campaign.ExecuteContext(context.Background(), spec, nil, campaign.Options{Store: st})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if out.Stats.CellSims+out.Stats.BaselineSims != 0 {
-			b.Fatalf("warm store simulated: %+v", out.Stats)
-		}
-	}
-}
+// which must perform zero simulations per iteration. (Pinned subset:
+// shared with cmd/pdbench via internal/bench.)
+func BenchmarkStoreWarmSweep(b *testing.B) { bench.StoreWarmSweep(b) }
 
 // BenchmarkSimulatorThroughput tracks raw simulation speed (committed
-// instructions per wall second) for engineering regressions.
-func BenchmarkSimulatorThroughput(b *testing.B) {
-	p := benchWorkload(b, "fluidanimate")
-	cfg := benchConfig()
-	b.ResetTimer()
-	var instrs uint64
-	for i := 0; i < b.N; i++ {
-		res, err := paradet.Run(cfg, p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		instrs += res.Instructions
-	}
-	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
-}
+// instructions per wall second) for engineering regressions. (Pinned
+// subset: shared with cmd/pdbench via internal/bench.)
+func BenchmarkSimulatorThroughput(b *testing.B) { bench.SimulatorThroughput(b) }
 
 // BenchmarkCampaignScaling measures the sweep engine's parallel speedup
-// on a fixed 9-workload grid (near-linear on multi-core hosts).
+// on a fixed 9-workload grid (near-linear on multi-core hosts). The
+// 4-worker point is the pinned campaign_scaling case of cmd/pdbench.
 func BenchmarkCampaignScaling(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
-			spec := campaign.Spec{
-				Name:      "bench-scaling",
-				Workloads: allWorkloads(),
-				Points: []campaign.Point{benchPoint("tableI", func(c *paradet.Config) {
-					c.MaxInstrs = 20_000
-				})},
-				WithBaseline: true,
-				Parallel:     workers,
-			}
-			for i := 0; i < b.N; i++ {
-				benchSweep(b, spec)
-			}
+			bench.CampaignScaling(b, workers)
 		})
 	}
 }

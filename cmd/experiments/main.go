@@ -47,6 +47,7 @@ import (
 	"paradet/internal/campaign"
 	"paradet/internal/experiments"
 	"paradet/internal/orchestrator"
+	"paradet/internal/prof"
 	"paradet/internal/resultstore"
 )
 
@@ -64,7 +65,9 @@ func main() {
 	progressJSON := flag.Bool("progress-json", false, "emit one machine-readable JSON progress line per completed cell to stderr (the pdsweep protocol)")
 	shardArg := flag.String("shard", "", "execute one slice i/n of every sweep's grid (e.g. 0/3); merge the shard stores with pdstore")
 	shardStrategy := flag.String("shard-strategy", "", "cell assignment for -shard: round-robin (default) or weighted (balance summed instruction samples)")
+	profFlags := prof.Register()
 	flag.Parse()
+	defer profFlags.Start()()
 
 	if *jsonOut && *csvOut {
 		fmt.Fprintln(os.Stderr, "experiments: -json and -csv are mutually exclusive")

@@ -42,6 +42,7 @@ import (
 	"paradet/internal/campaign"
 	"paradet/internal/experiments"
 	"paradet/internal/orchestrator"
+	"paradet/internal/prof"
 	"paradet/internal/resultstore"
 )
 
@@ -65,7 +66,9 @@ func main() {
 	shardArg := flag.String("shard", "", "fault campaign: execute one slice i/n of the grid (e.g. 0/3)")
 	shardStrategy := flag.String("shard-strategy", "", "fault campaign: cell assignment for -shard, round-robin (default) or weighted")
 	progressJSON := flag.Bool("progress-json", false, "fault campaign: emit one JSON progress line per completed cell to stderr (the pdsweep protocol)")
+	profFlags := prof.Register()
 	flag.Parse()
+	defer profFlags.Start()()
 
 	if *list {
 		for _, w := range paradet.Workloads() {

@@ -1,0 +1,186 @@
+// Command pdbench runs the repo's pinned benchmark subset and manages
+// the committed BENCH_<rev>.json performance trajectory.
+//
+// Usage:
+//
+//	pdbench run                      # run the subset, write BENCH_<rev>.json
+//	pdbench run -benchtime 5x -o -   # more iterations, JSON on stdout
+//	pdbench compare A.json B.json    # per-metric delta table; gates CI
+//	pdbench list                     # list the pinned cases
+//
+// `run` executes the same benchmark bodies as `go test -bench` (see
+// internal/bench) under a fixed -benchtime and emits a schema-stable
+// JSON report. `compare` prints a per-metric delta table of B relative
+// to A and exits non-zero if a rate metric regressed more than
+// -max-regress percent or an allocation count grew more than
+// -max-alloc-growth percent — the thresholds the CI bench-regression
+// job gates on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+
+	"paradet/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "compare":
+		compareCmd(os.Args[2:])
+	case "list":
+		for _, c := range bench.Cases() {
+			fmt.Println(c.Name)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pdbench run [-benchtime N|Nx] [-rev REV] [-o FILE|-]
+  pdbench compare [-max-regress PCT] [-max-alloc-growth PCT] A.json B.json
+  pdbench list`)
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	benchtime := fs.String("benchtime", "3x", "per-benchmark iteration budget (go test -benchtime syntax)")
+	rev := fs.String("rev", "", "revision label for the report (default: git rev-parse --short HEAD)")
+	out := fs.String("o", "", "output file (default BENCH_<rev>.json; - for stdout)")
+	fs.Parse(args)
+
+	if *rev == "" {
+		*rev = gitRev()
+	}
+	// Route the fixed iteration budget through the testing package's own
+	// flag so testing.Benchmark honours it.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "pdbench: bad -benchtime %q: %v\n", *benchtime, err)
+		os.Exit(2)
+	}
+
+	report := &bench.Report{
+		Schema:    bench.SchemaVersion,
+		Rev:       *rev,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: *benchtime,
+		Metrics:   make(map[string]bench.Metrics),
+	}
+	for _, c := range bench.Cases() {
+		fmt.Fprintf(os.Stderr, "pdbench: running %s (benchtime %s)\n", c.Name, *benchtime)
+		r := testing.Benchmark(c.Bench)
+		report.Metrics[c.Name] = c.Metrics(r)
+	}
+	if err := report.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pdbench: internal error: generated report invalid: %v\n", err)
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *rev + ".json"
+	}
+	if path == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pdbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pdbench: wrote %s\n", path)
+}
+
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func compareCmd(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	maxRegress := fs.Float64("max-regress", 15, "fail if a rate metric drops more than this percent (<=0 disables)")
+	maxAllocGrowth := fs.Float64("max-alloc-growth", 10, "fail if an allocation count grows more than this percent (<=0 disables)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+		os.Exit(2)
+	}
+	a := loadReport(fs.Arg(0))
+	b := loadReport(fs.Arg(1))
+
+	deltas, ok := bench.Compare(a, b, *maxRegress, *maxAllocGrowth)
+	fmt.Printf("baseline %s (%s) vs candidate %s (%s)\n", a.Rev, a.Benchtime, b.Rev, b.Benchtime)
+	fmt.Printf("%-42s %14s %14s %9s\n", "metric", a.Rev, b.Rev, "delta")
+	for _, d := range deltas {
+		name := d.Group + "." + d.Metric
+		flag := ""
+		if d.Violation != "" {
+			flag = "  FAIL: " + d.Violation
+		}
+		fmt.Printf("%-42s %14s %14s %+8.1f%%%s\n", name, fmtVal(d.A), fmtVal(d.B), d.Pct, flag)
+	}
+	if !ok {
+		fmt.Println("RESULT: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("RESULT: OK")
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6:
+		return fmt.Sprintf("%.4g", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func loadReport(path string) *bench.Report {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdbench: %v\n", err)
+		os.Exit(1)
+	}
+	var r bench.Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "pdbench: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := r.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pdbench: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return &r
+}

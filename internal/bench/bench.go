@@ -1,0 +1,330 @@
+// Package bench defines the pinned benchmark subset behind the repo's
+// committed performance trajectory (the BENCH_<rev>.json files at the
+// repository root). The same benchmark bodies back the go-test
+// benchmarks in bench_test.go and cmd/pdbench, so "what CI gates on"
+// and "what `go test -bench` measures" are one definition.
+//
+// The subset covers the four performance surfaces every campaign cell
+// exercises: raw simulator throughput, the parallel sweep engine, the
+// warm result-store path, and fault-grid classification.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"paradet"
+	"paradet/internal/campaign"
+	"paradet/internal/resultstore"
+)
+
+// SchemaVersion is bumped whenever the BENCH JSON layout changes
+// incompatibly; the schema golden test pins it.
+const SchemaVersion = 1
+
+// ThroughputInstrs is the committed-instruction sample per op of the
+// simulator-throughput benchmark; per-instruction metrics divide by it.
+const ThroughputInstrs = 40_000
+
+// ScalingWorkers is the worker-pool size of the pinned campaign-scaling
+// case (bench_test.go additionally sweeps 1 and 2 workers).
+const ScalingWorkers = 4
+
+// Metrics is one benchmark's named measurements. Names ending in
+// "_per_s" are rates (higher is better); everything else is a cost
+// (lower is better). Compare relies on this convention.
+type Metrics map[string]float64
+
+// Case is one pinned benchmark: a standard testing benchmark body plus
+// the derivation of its schema metrics from the raw result.
+type Case struct {
+	Name    string
+	Bench   func(*testing.B)
+	Metrics func(testing.BenchmarkResult) Metrics
+}
+
+// RequiredMetrics pins the exact metric names each case must emit; the
+// schema golden test and the committed-baseline validation both check
+// against it.
+var RequiredMetrics = map[string][]string{
+	"simulator_throughput": {"minstr_per_s", "ns_per_instr", "allocs_per_instr", "bytes_per_instr"},
+	"campaign_scaling":     {"cells_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
+	"warm_store_sweep":     {"sweeps_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
+	"fault_grid":           {"cells_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
+}
+
+// Cases returns the pinned subset in a fixed order.
+func Cases() []Case {
+	return []Case{
+		{
+			Name:  "simulator_throughput",
+			Bench: SimulatorThroughput,
+			Metrics: func(r testing.BenchmarkResult) Metrics {
+				return Metrics{
+					"minstr_per_s":     r.Extra["Minstr/s"],
+					"ns_per_instr":     float64(r.NsPerOp()) / ThroughputInstrs,
+					"allocs_per_instr": float64(r.AllocsPerOp()) / ThroughputInstrs,
+					"bytes_per_instr":  float64(r.AllocedBytesPerOp()) / ThroughputInstrs,
+				}
+			},
+		},
+		{
+			Name:    "campaign_scaling",
+			Bench:   func(b *testing.B) { CampaignScaling(b, ScalingWorkers) },
+			Metrics: cellRateMetrics,
+		},
+		{
+			Name:  "warm_store_sweep",
+			Bench: StoreWarmSweep,
+			Metrics: func(r testing.BenchmarkResult) Metrics {
+				return Metrics{
+					"sweeps_per_s":  1e9 / float64(r.NsPerOp()),
+					"ns_per_op":     float64(r.NsPerOp()),
+					"allocs_per_op": float64(r.AllocsPerOp()),
+					"bytes_per_op":  float64(r.AllocedBytesPerOp()),
+				}
+			},
+		},
+		{
+			Name:    "fault_grid",
+			Bench:   FaultGridCampaign,
+			Metrics: cellRateMetrics,
+		},
+	}
+}
+
+// cellRateMetrics derives cell throughput for campaign-shaped cases,
+// which report their per-op simulation count via ReportMetric("cells").
+func cellRateMetrics(r testing.BenchmarkResult) Metrics {
+	return Metrics{
+		"cells_per_s":   r.Extra["cells"] * 1e9 / float64(r.NsPerOp()),
+		"ns_per_op":     float64(r.NsPerOp()),
+		"allocs_per_op": float64(r.AllocsPerOp()),
+		"bytes_per_op":  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+func loadWorkload(b *testing.B, name string) *paradet.Program {
+	b.Helper()
+	p, _, err := paradet.LoadWorkload(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func allWorkloads() []string {
+	var names []string
+	for _, w := range paradet.Workloads() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+func tableIPoint(label string, instrs uint64, mutate func(*paradet.Config)) campaign.Point {
+	cfg := paradet.DefaultConfig()
+	cfg.MaxInstrs = instrs
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return campaign.Point{Label: label, Config: cfg}
+}
+
+func runSweep(b *testing.B, spec campaign.Spec) *campaign.Outcome {
+	b.Helper()
+	out, err := campaign.Execute(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// SimulatorThroughput tracks raw simulation speed (committed
+// instructions per wall second) on one full protected run per op.
+func SimulatorThroughput(b *testing.B) {
+	p := loadWorkload(b, "fluidanimate")
+	cfg := paradet.DefaultConfig()
+	cfg.MaxInstrs = ThroughputInstrs
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := paradet.Run(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// CampaignScaling measures the sweep engine on a fixed all-workload
+// grid with the given worker-pool size.
+func CampaignScaling(b *testing.B, workers int) {
+	spec := campaign.Spec{
+		Name:         "bench-scaling",
+		Workloads:    allWorkloads(),
+		Points:       []campaign.Point{tableIPoint("tableI", 20_000, nil)},
+		WithBaseline: true,
+		Parallel:     workers,
+	}
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		out := runSweep(b, spec)
+		if i == 0 {
+			cells = int(out.Stats.CellSims + out.Stats.BaselineSims)
+		}
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
+// StoreWarmSweep measures the persistent result store's cache-hit path:
+// a Fig. 7-shaped sweep against a fully warm store, which must perform
+// zero simulations per iteration.
+func StoreWarmSweep(b *testing.B) {
+	st, err := resultstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := campaign.Spec{
+		Name:         "bench-store",
+		Workloads:    []string{"stream", "randacc", "bitcount"},
+		Points:       []campaign.Point{tableIPoint("tableI", 40_000, nil)},
+		WithBaseline: true,
+	}
+	warm, err := campaign.ExecuteContext(context.Background(), spec, nil, campaign.Options{Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := campaign.ExecuteContext(context.Background(), spec, nil, campaign.Options{Store: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Stats.CellSims+out.Stats.BaselineSims != 0 {
+			b.Fatalf("warm store simulated: %+v", out.Stats)
+		}
+	}
+}
+
+// FaultGridCampaign measures the first-class fault-campaign path: a
+// deterministic target × seq × bit grid classified through the
+// campaign engine with a memoised golden run.
+func FaultGridCampaign(b *testing.B) {
+	spec := campaign.Spec{
+		Name:      "bench-faultgrid",
+		Workloads: []string{"bitcount"},
+		Points:    []campaign.Point{tableIPoint("tableI", 40_000, nil)},
+		Faults: &campaign.FaultGrid{
+			Targets: []paradet.FaultTarget{paradet.FaultDestReg, paradet.FaultStoreValue},
+			Seqs:    []uint64{40, 400},
+			Bits:    []uint8{5},
+		},
+	}
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		out := runSweep(b, spec)
+		if i == 0 {
+			cells = len(out.Results)
+		}
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
+// Report is the schema-stable BENCH_<rev>.json payload.
+type Report struct {
+	Schema    int                `json:"schema"`
+	Rev       string             `json:"rev"`
+	GoVersion string             `json:"go"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	NumCPU    int                `json:"numcpu"`
+	Benchtime string             `json:"benchtime"`
+	Metrics   map[string]Metrics `json:"metrics"`
+}
+
+// Validate checks a report against the pinned schema: version, and
+// exactly the required metric groups and names.
+func (r *Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if len(r.Metrics) != len(RequiredMetrics) {
+		return fmt.Errorf("%d metric groups, want %d", len(r.Metrics), len(RequiredMetrics))
+	}
+	for group, names := range RequiredMetrics {
+		m, ok := r.Metrics[group]
+		if !ok {
+			return fmt.Errorf("missing metric group %q", group)
+		}
+		if len(m) != len(names) {
+			return fmt.Errorf("group %q has %d metrics, want %d", group, len(m), len(names))
+		}
+		for _, n := range names {
+			if _, ok := m[n]; !ok {
+				return fmt.Errorf("group %q missing metric %q", group, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Delta is one metric's change between two reports.
+type Delta struct {
+	Group, Metric string
+	A, B          float64
+	Pct           float64 // signed percent change B vs A
+	HigherBetter  bool
+	Violation     string // non-empty if this delta breaks a threshold
+}
+
+// Compare diffs two reports metric by metric. maxRegressPct bounds the
+// allowed drop in rate metrics ("_per_s"); maxAllocGrowthPct bounds the
+// allowed growth in allocation counts ("allocs_*"). A threshold <= 0
+// disables that gate. The bool reports whether every gate passed.
+func Compare(a, b *Report, maxRegressPct, maxAllocGrowthPct float64) ([]Delta, bool) {
+	var out []Delta
+	ok := true
+	var groups []string
+	for g := range RequiredMetrics {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		names := append([]string(nil), RequiredMetrics[g]...)
+		sort.Strings(names)
+		for _, n := range names {
+			av, bv := a.Metrics[g][n], b.Metrics[g][n]
+			d := Delta{Group: g, Metric: n, A: av, B: bv, HigherBetter: isRate(n)}
+			if av != 0 {
+				d.Pct = (bv - av) / av * 100
+			}
+			switch {
+			case d.HigherBetter && maxRegressPct > 0 && av > 0 && d.Pct < -maxRegressPct:
+				d.Violation = fmt.Sprintf("throughput regressed %.1f%% (limit %.0f%%)", -d.Pct, maxRegressPct)
+				ok = false
+			case isAllocCount(n) && maxAllocGrowthPct > 0 && av > 0 && d.Pct > maxAllocGrowthPct:
+				d.Violation = fmt.Sprintf("allocations grew %.1f%% (limit %.0f%%)", d.Pct, maxAllocGrowthPct)
+				ok = false
+			}
+			out = append(out, d)
+		}
+	}
+	return out, ok
+}
+
+func isRate(name string) bool {
+	return len(name) > 6 && name[len(name)-6:] == "_per_s"
+}
+
+func isAllocCount(name string) bool {
+	return len(name) >= 7 && name[:7] == "allocs_"
+}

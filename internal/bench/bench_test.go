@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeResult builds a BenchmarkResult carrying the Extra metrics a
+// case's benchmark body would have reported.
+func fakeResult(extra map[string]float64) testing.BenchmarkResult {
+	return testing.BenchmarkResult{
+		N: 1, T: time.Second, MemAllocs: 100, MemBytes: 1 << 20, Extra: extra,
+	}
+}
+
+// TestMetricsSchemaPinned verifies every pinned case derives exactly the
+// metric names recorded in RequiredMetrics — the contract committed
+// BENCH files, the compare gate, and CI all depend on.
+func TestMetricsSchemaPinned(t *testing.T) {
+	extras := map[string]map[string]float64{
+		"simulator_throughput": {"Minstr/s": 1.5},
+		"campaign_scaling":     {"cells": 18},
+		"warm_store_sweep":     nil,
+		"fault_grid":           {"cells": 4},
+	}
+	cases := Cases()
+	if len(cases) != len(RequiredMetrics) {
+		t.Fatalf("%d cases, %d required-metric groups", len(cases), len(RequiredMetrics))
+	}
+	for _, c := range cases {
+		want, ok := RequiredMetrics[c.Name]
+		if !ok {
+			t.Errorf("case %q has no RequiredMetrics entry", c.Name)
+			continue
+		}
+		m := c.Metrics(fakeResult(extras[c.Name]))
+		if len(m) != len(want) {
+			t.Errorf("case %q emits %d metrics, want %d: %v", c.Name, len(m), len(want), m)
+		}
+		for _, n := range want {
+			if _, ok := m[n]; !ok {
+				t.Errorf("case %q missing metric %q", c.Name, n)
+			}
+		}
+	}
+}
+
+// TestCommittedBaselines validates every BENCH_*.json committed at the
+// repository root against the pinned schema, and that at least one
+// baseline exists for the CI regression gate to compare against.
+func TestCommittedBaselines(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_*.json baseline committed at the repository root")
+	}
+	for _, p := range paths {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r Report
+		if err := json.Unmarshal(buf, &r); err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+func testReport(tweak func(*Report)) *Report {
+	r := &Report{Schema: SchemaVersion, Rev: "test", Metrics: map[string]Metrics{}}
+	for g, names := range RequiredMetrics {
+		m := Metrics{}
+		for _, n := range names {
+			m[n] = 100
+		}
+		r.Metrics[g] = m
+	}
+	if tweak != nil {
+		tweak(r)
+	}
+	return r
+}
+
+// TestCompareGates exercises the regression thresholds the CI job
+// relies on: rate drops beyond -max-regress and allocation growth
+// beyond -max-alloc-growth fail; anything else passes.
+func TestCompareGates(t *testing.T) {
+	base := testReport(nil)
+
+	if _, ok := Compare(base, testReport(nil), 15, 10); !ok {
+		t.Error("identical reports must pass")
+	}
+
+	slow := testReport(func(r *Report) {
+		r.Metrics["simulator_throughput"]["minstr_per_s"] = 80 // -20%
+	})
+	if _, ok := Compare(base, slow, 15, 10); ok {
+		t.Error("20% throughput regression must fail at a 15% threshold")
+	}
+	if _, ok := Compare(base, slow, 0, 10); !ok {
+		t.Error("threshold <= 0 must disable the throughput gate")
+	}
+
+	leaky := testReport(func(r *Report) {
+		r.Metrics["simulator_throughput"]["allocs_per_instr"] = 115 // +15%
+	})
+	if _, ok := Compare(base, leaky, 15, 10); ok {
+		t.Error("15% alloc growth must fail at a 10% threshold")
+	}
+
+	costlier := testReport(func(r *Report) {
+		r.Metrics["simulator_throughput"]["bytes_per_instr"] = 200 // +100%
+	})
+	if _, ok := Compare(base, costlier, 15, 10); !ok {
+		t.Error("bytes growth is informational, not gated")
+	}
+
+	faster := testReport(func(r *Report) {
+		r.Metrics["fault_grid"]["cells_per_s"] = 500
+		r.Metrics["simulator_throughput"]["allocs_per_instr"] = 1
+	})
+	if _, ok := Compare(base, faster, 15, 10); !ok {
+		t.Error("improvements must pass")
+	}
+}

@@ -87,8 +87,15 @@ type Detector struct {
 
 	lfu lfu
 
-	// Strong-induction confirmation state.
+	// retireScratch receives the replica's dynamic record each commit;
+	// a struct field (rather than a local) keeps the hot Step call from
+	// heap-allocating one DynInst per instruction.
+	retireScratch isa.DynInst
+
+	// Strong-induction confirmation state. resultPool recycles the
+	// per-segment CheckResult boxes drained by the confirmation loop.
 	results     map[uint64]*CheckResult
+	resultPool  []*CheckResult
 	nextConfirm uint64
 	firstError  *ErrorReport
 	allErrors   []*ErrorReport
@@ -279,8 +286,8 @@ func (d *Detector) retireStep(di *isa.DynInst) {
 	if di.HasNonDet {
 		d.retireEnv.nonDetQ = append(d.retireEnv.nonDetQ, di.NonDetVal)
 	}
-	var rd isa.DynInst
-	if err := d.retire.Step(&rd); err != nil {
+	rd := &d.retireScratch
+	if err := d.retire.Step(rd); err != nil {
 		panic(fmt.Sprintf("core: retire replica fault at committed instruction %d: %v", di.Seq, err))
 	}
 	if rd.Seq != di.Seq || rd.PC != di.PC {
@@ -383,8 +390,15 @@ func (d *Detector) AllChecked() bool {
 // know if it was the first error until all previous checks complete").
 func (d *Detector) SegmentChecked(seg *Segment, res CheckResult) {
 	d.stats.SegmentsChecked++
-	r := res
-	d.results[seg.SeqNo] = &r
+	var r *CheckResult
+	if n := len(d.resultPool); n > 0 {
+		r = d.resultPool[n-1]
+		d.resultPool = d.resultPool[:n-1]
+	} else {
+		r = new(CheckResult)
+	}
+	*r = res
+	d.results[seg.SeqNo] = r
 	seg.State = SegFree
 	if r.Err != nil {
 		d.allErrors = append(d.allErrors, r.Err)
@@ -399,6 +413,7 @@ func (d *Detector) SegmentChecked(seg *Segment, res CheckResult) {
 			d.firstError = next.Err
 		}
 		delete(d.results, d.nextConfirm)
+		d.resultPool = append(d.resultPool, next)
 		d.nextConfirm++
 	}
 }

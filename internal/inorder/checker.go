@@ -69,6 +69,10 @@ type Checker struct {
 
 	m   isa.Machine
 	env segEnv
+	// scratch receives each re-executed instruction's dynamic record; a
+	// field keeps the hot Step call from heap-allocating one DynInst per
+	// instruction.
+	scratch isa.DynInst
 
 	seg       *core.Segment
 	startAt   sim.Time
@@ -147,8 +151,8 @@ func (c *Checker) Tick(now sim.Time) (sim.Time, bool) {
 
 	c.env.now = now
 	c.env.curSeq = c.seg.StartSeq + c.execd
-	var di isa.DynInst
-	stepErr := c.m.Step(&di)
+	di := &c.scratch
+	stepErr := c.m.Step(di)
 	c.execd++
 	c.stats.Instructions++
 
@@ -170,7 +174,7 @@ func (c *Checker) Tick(now sim.Time) (sim.Time, bool) {
 		c.finalize(now)
 		return sim.MaxTime, false
 	}
-	return now + c.cfg.Clock.Duration(c.latencyCycles(&di)), false
+	return now + c.cfg.Clock.Duration(c.latencyCycles(di)), false
 }
 
 func (c *Checker) latencyCycles(di *isa.DynInst) int64 {

@@ -32,6 +32,10 @@ type Comparator struct {
 
 	shadow    isa.Machine
 	shadowEnv *shadowEnv
+	// scratch receives the shadow's dynamic record each compare; a field
+	// keeps the hot Step call from heap-allocating one DynInst per
+	// instruction.
+	scratch isa.DynInst
 
 	// Delay collects commit-to-compare delays (ns) for parity with the
 	// paradet delay statistics.
@@ -101,8 +105,8 @@ func (c *Comparator) TryCommit(di *isa.DynInst, now sim.Time) (sim.Time, bool) {
 	if di.HasNonDet {
 		c.shadowEnv.nonDetQ = append(c.shadowEnv.nonDetQ, di.NonDetVal)
 	}
-	var sd isa.DynInst
-	if err := c.shadow.Step(&sd); err != nil {
+	sd := &c.scratch
+	if err := c.shadow.Step(sd); err != nil {
 		c.diverge(di.Seq, now, fmt.Sprintf("shadow core fault: %v", err))
 		return 0, true
 	}

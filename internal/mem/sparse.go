@@ -9,7 +9,11 @@
 // correct and faults are injected only on the core-side paths.
 package mem
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
 
 const (
 	pageShift = 12
@@ -61,12 +65,22 @@ func (s *Sparse) SetByte(addr uint64, v byte) {
 // Read reads size (1, 2, 4 or 8) bytes at addr, little-endian,
 // zero-extended. Accesses may straddle page boundaries.
 func (s *Sparse) Read(addr uint64, size uint8) uint64 {
-	// Fast path: fully within one page.
+	// Fast path: fully within one page, fixed-width little-endian load.
 	off := addr & pageMask
 	if off+uint64(size) <= pageSize {
 		p := s.pageFor(addr, false)
 		if p == nil {
 			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
 		}
 		var v uint64
 		for i := uint8(0); i < size; i++ {
@@ -86,8 +100,19 @@ func (s *Sparse) Write(addr uint64, size uint8, val uint64) {
 	off := addr & pageMask
 	if off+uint64(size) <= pageSize {
 		p := s.pageFor(addr, true)
-		for i := uint8(0); i < size; i++ {
-			p[off+uint64(i)] = byte(val >> (8 * i))
+		switch size {
+		case 1:
+			p[off] = byte(val)
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(val))
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(val))
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], val)
+		default:
+			for i := uint8(0); i < size; i++ {
+				p[off+uint64(i)] = byte(val >> (8 * i))
+			}
 		}
 		return
 	}
@@ -96,18 +121,34 @@ func (s *Sparse) Write(addr uint64, size uint8, val uint64) {
 	}
 }
 
-// SetBytes copies b into memory starting at addr.
+// SetBytes copies b into memory starting at addr, one page-sized copy at
+// a time.
 func (s *Sparse) SetBytes(addr uint64, b []byte) {
-	for i, v := range b {
-		s.SetByte(addr+uint64(i), v)
+	for len(b) > 0 {
+		p := s.pageFor(addr, true)
+		off := addr & pageMask
+		n := copy(p[off:], b)
+		b = b[n:]
+		addr += uint64(n)
 	}
 }
 
-// ReadBytes copies n bytes starting at addr.
+// ReadBytes copies n bytes starting at addr, one page-sized copy at a
+// time; absent pages read as zero.
 func (s *Sparse) ReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = s.ByteAt(addr + uint64(i))
+	dst := out
+	for len(dst) > 0 {
+		off := addr & pageMask
+		span := pageSize - int(off)
+		if span > len(dst) {
+			span = len(dst)
+		}
+		if p := s.pageFor(addr, false); p != nil {
+			copy(dst, p[off:off+uint64(span)])
+		}
+		dst = dst[span:]
+		addr += uint64(span)
 	}
 	return out
 }
@@ -145,35 +186,44 @@ type memDiff struct {
 	a, b byte
 }
 
+// zeroPage stands in for absent pages when diffing.
+var zeroPage page
+
 func (s *Sparse) firstDiff(o *Sparse) *memDiff {
 	var best *memDiff
-	consider := func(addr uint64, a, b byte) {
-		if a == b {
+	// Compare one page pair, skipping equal pages with a single
+	// bytes.Equal before falling back to the byte scan for the lowest
+	// differing offset.
+	diffPage := func(pn uint64, p, op *page) {
+		if p == nil {
+			p = &zeroPage
+		}
+		if op == nil {
+			op = &zeroPage
+		}
+		if bytes.Equal(p[:], op[:]) {
 			return
 		}
-		if best == nil || addr < best.addr {
-			best = &memDiff{addr, a, b}
+		for i := 0; i < pageSize; i++ {
+			if p[i] != op[i] {
+				addr := pn<<pageShift | uint64(i)
+				if best == nil || addr < best.addr {
+					best = &memDiff{addr, p[i], op[i]}
+				}
+				return
+			}
 		}
 	}
 	seen := make(map[uint64]bool)
 	for pn, p := range s.pages {
 		seen[pn] = true
-		op := o.pageFor(pn<<pageShift, false)
-		for i := 0; i < pageSize; i++ {
-			var ob byte
-			if op != nil {
-				ob = op[i]
-			}
-			consider(pn<<pageShift|uint64(i), p[i], ob)
-		}
+		diffPage(pn, p, o.pageFor(pn<<pageShift, false))
 	}
 	for pn, op := range o.pages {
 		if seen[pn] {
 			continue
 		}
-		for i := 0; i < pageSize; i++ {
-			consider(pn<<pageShift|uint64(i), 0, op[i])
-		}
+		diffPage(pn, nil, op)
 	}
 	return best
 }

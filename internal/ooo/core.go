@@ -22,6 +22,8 @@
 package ooo
 
 import (
+	"math/bits"
+
 	"paradet/internal/branch"
 	"paradet/internal/isa"
 	"paradet/internal/mem"
@@ -158,17 +160,27 @@ func (s Stats) IPC() float64 {
 	return float64(s.Instructions) / float64(s.Cycles)
 }
 
-const invalidDep = ^uint64(0)
+// noWaiter terminates a producer's waiter list.
+const noWaiter = int32(-1)
 
+// robEntry is one reorder-buffer slot. Instead of re-scanning every
+// window entry's sources each cycle, the window uses SupraX-style
+// ready/wakeup tracking: at rename a consumer either snapshots an
+// already-issued producer's completion time into readyAt, or links
+// itself onto the producer's waiter list; when the producer issues it
+// walks that list, folding its completion time into each consumer's
+// readyAt and marking consumers with no outstanding producers ready.
 type robEntry struct {
-	di         isa.DynInst
-	id         uint64
-	deps       [3]uint64 // producer ROB ids (invalidDep if none)
-	ndeps      int
-	issued     bool
-	completeAt sim.Time
-	mispredict bool
-	inIQ       bool
+	di          isa.DynInst
+	id          uint64
+	issued      bool
+	completeAt  sim.Time
+	mispredict  bool
+	inIQ        bool
+	pendingDeps int8     // producers not yet issued
+	readyAt     sim.Time // max completion time over issued producers
+	firstWaiter int32    // head of this entry's waiter list (consumer idx<<2 | dep slot)
+	nextWaiter  [3]int32 // per-dep-slot link in a producer's waiter list
 }
 
 type fetchedInst struct {
@@ -186,8 +198,13 @@ type Core struct {
 	bp     *branch.Predictor
 	gate   CommitGate // may be nil (unprotected baseline)
 
-	// Front end.
+	// Front end. fetchQ is a fixed ring of cfg.FetchQueue slots so the
+	// steady-state fetch path never touches the allocator (the old
+	// fetchQ = fetchQ[1:] pattern retained and eventually regrew the
+	// backing array).
 	fetchQ        []fetchedInst
+	fqHead        int
+	fqLen         int
 	pending       isa.DynInst
 	pendingValid  bool
 	traceDone     bool
@@ -195,10 +212,17 @@ type Core struct {
 	fetchStallTil sim.Time
 	blockedOnSeq  uint64 // dynamic Seq of the unresolved mispredicted branch
 
-	// Window.
+	// Window. The backing array is rounded up to a power of two so the
+	// id -> slot mapping is a mask, not a division; the logical capacity
+	// stays cfg.ROBEntries.
 	rob            []robEntry
-	headID, tailID uint64                       // ids are 1-based; index = id % len(rob)
+	robMask        uint64
+	headID, tailID uint64                       // ids are 1-based; index = id & robMask
 	regMap         [2][2][isa.NumIntRegs]uint64 // [thread][int,fp] arch reg -> producer rob id
+	ready          []uint64                     // bitmap over rob slots: dispatched, unissued, no pending producers
+	storeQ         []uint64                     // in-flight leading-thread store ids, program order (ring)
+	sqHead         int
+	sqLen          int
 	iqCount        int
 	lqCount        int
 	sqCount        int
@@ -221,6 +245,10 @@ func New(cfg Config, trace TraceSource, icache, dcache *mem.Cache, bp *branch.Pr
 	if cfg.Width <= 0 || cfg.ROBEntries <= 0 {
 		panic("ooo: invalid config")
 	}
+	robLen := 1
+	for robLen < cfg.ROBEntries {
+		robLen <<= 1
+	}
 	return &Core{
 		cfg:         cfg,
 		trace:       trace,
@@ -228,7 +256,11 @@ func New(cfg Config, trace TraceSource, icache, dcache *mem.Cache, bp *branch.Pr
 		dcache:      dcache,
 		bp:          bp,
 		gate:        gate,
-		rob:         make([]robEntry, cfg.ROBEntries),
+		rob:         make([]robEntry, robLen),
+		robMask:     uint64(robLen - 1),
+		ready:       make([]uint64, (robLen+63)/64),
+		storeQ:      make([]uint64, robLen),
+		fetchQ:      make([]fetchedInst, cfg.FetchQueue),
 		headID:      1,
 		tailID:      1,
 		intRegsFree: cfg.IntPhysRegs - isa.NumIntRegs,
@@ -242,10 +274,13 @@ func (c *Core) Stats() Stats { return c.stats }
 // Done reports whether the core has drained.
 func (c *Core) Done() bool { return c.done }
 
-func (c *Core) entry(id uint64) *robEntry { return &c.rob[id%uint64(len(c.rob))] }
+func (c *Core) entry(id uint64) *robEntry { return &c.rob[id&c.robMask] }
 
-func (c *Core) robFull() bool  { return c.tailID-c.headID >= uint64(len(c.rob)) }
+func (c *Core) robFull() bool  { return c.tailID-c.headID >= uint64(c.cfg.ROBEntries) }
 func (c *Core) robEmpty() bool { return c.tailID == c.headID }
+
+func (c *Core) setReady(idx uint64)   { c.ready[idx>>6] |= 1 << (idx & 63) }
+func (c *Core) clearReady(idx uint64) { c.ready[idx>>6] &^= 1 << (idx & 63) }
 
 // Tick advances the core by one cycle. Stages run commit-first so that a
 // single instruction cannot traverse multiple stages in one cycle.
@@ -255,7 +290,7 @@ func (c *Core) Tick(now sim.Time) (sim.Time, bool) {
 	c.issue(now)
 	c.rename(now)
 	c.fetch(now)
-	if c.traceDone && !c.pendingValid && len(c.fetchQ) == 0 && c.robEmpty() {
+	if c.traceDone && !c.pendingValid && c.fqLen == 0 && c.robEmpty() {
 		c.done = true
 		c.stats.FinishTime = now
 		return 0, true
@@ -320,6 +355,10 @@ func (c *Core) retire(e *robEntry, now sim.Time) {
 			for i := uint8(0); i < di.NMem; i++ {
 				c.dcache.Access(di.Mem[i].Addr, true, di.PC, now)
 			}
+			// Stores commit in program order, so this is the front of
+			// the in-flight store index.
+			c.sqHead = (c.sqHead + 1) & int(c.robMask)
+			c.sqLen--
 		}
 	}
 
@@ -351,92 +390,133 @@ func (c *Core) retire(e *robEntry, now sim.Time) {
 
 // ---- Issue / execute ----
 
-func (c *Core) issue(now sim.Time) {
-	intALU := c.cfg.IntALUs
-	fpALU := c.cfg.FPALUs
-	mulDiv := c.cfg.MulDivs
-	memPorts := c.cfg.MemPorts
+// issueRes carries the per-cycle structural resource budget through the
+// ready-bitmap scan.
+type issueRes struct {
+	intALU   int
+	fpALU    int
+	mulDiv   int
+	memPorts int
+}
 
-	for id := c.headID; id < c.tailID; id++ {
-		e := c.entry(id)
-		if e.issued || !e.inIQ {
-			continue
+// issue walks the ready bitmap in circular age order from the head slot.
+// Only dispatched, unissued entries whose producers have all issued have
+// their bit set; an entry whose readyAt is still in the future, or that
+// loses structural arbitration, keeps its bit and is retried next cycle.
+func (c *Core) issue(now sim.Time) {
+	rs := issueRes{
+		intALU:   c.cfg.IntALUs,
+		fpALU:    c.cfg.FPALUs,
+		mulDiv:   c.cfg.MulDivs,
+		memPorts: c.cfg.MemPorts,
+	}
+	n := uint64(len(c.rob))
+	start := c.headID & c.robMask
+	// Age order on a circular buffer is slots [start, n) then [0, start):
+	// the window never exceeds n entries, so ids do not alias.
+	c.issueScan(now, start, n, &rs)
+	if start != 0 {
+		c.issueScan(now, 0, start, &rs)
+	}
+}
+
+// issueScan visits set ready bits in slot range [lo, hi).
+func (c *Core) issueScan(now sim.Time, lo, hi uint64, rs *issueRes) {
+	for w := lo >> 6; w<<6 < hi; w++ {
+		word := c.ready[w]
+		if base := w << 6; base < lo {
+			word &= ^uint64(0) << (lo - base)
 		}
-		if !c.sourcesReady(e, now) {
-			continue
+		if base := w << 6; hi-base < 64 {
+			word &= 1<<(hi-base) - 1
 		}
-		op := e.di.Inst.Op
-		switch op.Class() {
-		case isa.ClassIntALU, isa.ClassNop:
-			if intALU == 0 {
-				continue
-			}
-			intALU--
-			c.complete(e, now, c.cfg.IntALULat)
-		case isa.ClassBranch:
-			if intALU == 0 {
-				continue
-			}
-			intALU--
-			c.complete(e, now, c.cfg.BranchLat)
-		case isa.ClassIntMul:
-			if mulDiv == 0 || now < c.mulDivBusyTil {
-				continue
-			}
-			mulDiv--
-			c.complete(e, now, c.cfg.IntMulLat)
-		case isa.ClassIntDiv:
-			if mulDiv == 0 || now < c.mulDivBusyTil {
-				continue
-			}
-			mulDiv--
-			c.complete(e, now, c.cfg.IntDivLat)
-			c.mulDivBusyTil = e.completeAt // divider is not pipelined
-		case isa.ClassFPALU:
-			if fpALU == 0 {
-				continue
-			}
-			fpALU--
-			c.complete(e, now, c.cfg.FPALULat)
-		case isa.ClassFPMul:
-			if fpALU == 0 {
-				continue
-			}
-			fpALU--
-			c.complete(e, now, c.cfg.FPMulLat)
-		case isa.ClassFPDiv:
-			if fpALU == 0 || now < c.fpDivBusyTil {
-				continue
-			}
-			fpALU--
-			c.complete(e, now, c.cfg.FPDivLat)
-			c.fpDivBusyTil = e.completeAt
-		case isa.ClassLoad:
-			if memPorts == 0 {
-				continue
-			}
-			doneAt, ok := c.issueLoad(e, now)
-			if !ok {
-				continue
-			}
-			memPorts--
-			e.issued = true
-			e.inIQ = false
-			c.iqCount--
-			e.completeAt = doneAt
-			if c.gate != nil {
-				c.gate.OnLoadData(&e.di, doneAt)
-			}
-			c.noteResolved(e)
-		case isa.ClassStore:
-			if memPorts == 0 {
-				continue
-			}
-			memPorts--
-			c.complete(e, now, c.cfg.StoreLat)
-		case isa.ClassSystem:
-			c.complete(e, now, c.cfg.SystemLat)
+		for word != 0 {
+			idx := w<<6 + uint64(bits.TrailingZeros64(word))
+			word &= word - 1
+			c.tryIssue(&c.rob[idx], now, rs)
 		}
+	}
+}
+
+// tryIssue attempts to issue one ready entry, honouring per-cycle
+// structural limits exactly as the old oldest-first window scan did.
+func (c *Core) tryIssue(e *robEntry, now sim.Time, rs *issueRes) {
+	if now < e.readyAt {
+		return // sources issued but data not yet available
+	}
+	op := e.di.Inst.Op
+	switch op.Class() {
+	case isa.ClassIntALU, isa.ClassNop:
+		if rs.intALU == 0 {
+			return
+		}
+		rs.intALU--
+		c.complete(e, now, c.cfg.IntALULat)
+	case isa.ClassBranch:
+		if rs.intALU == 0 {
+			return
+		}
+		rs.intALU--
+		c.complete(e, now, c.cfg.BranchLat)
+	case isa.ClassIntMul:
+		if rs.mulDiv == 0 || now < c.mulDivBusyTil {
+			return
+		}
+		rs.mulDiv--
+		c.complete(e, now, c.cfg.IntMulLat)
+	case isa.ClassIntDiv:
+		if rs.mulDiv == 0 || now < c.mulDivBusyTil {
+			return
+		}
+		rs.mulDiv--
+		c.complete(e, now, c.cfg.IntDivLat)
+		c.mulDivBusyTil = e.completeAt // divider is not pipelined
+	case isa.ClassFPALU:
+		if rs.fpALU == 0 {
+			return
+		}
+		rs.fpALU--
+		c.complete(e, now, c.cfg.FPALULat)
+	case isa.ClassFPMul:
+		if rs.fpALU == 0 {
+			return
+		}
+		rs.fpALU--
+		c.complete(e, now, c.cfg.FPMulLat)
+	case isa.ClassFPDiv:
+		if rs.fpALU == 0 || now < c.fpDivBusyTil {
+			return
+		}
+		rs.fpALU--
+		c.complete(e, now, c.cfg.FPDivLat)
+		c.fpDivBusyTil = e.completeAt
+	case isa.ClassLoad:
+		if rs.memPorts == 0 {
+			return
+		}
+		doneAt, ok := c.issueLoad(e, now)
+		if !ok {
+			return
+		}
+		rs.memPorts--
+		e.issued = true
+		e.inIQ = false
+		c.iqCount--
+		e.completeAt = doneAt
+		c.clearReady(e.id & c.robMask)
+		c.wake(e)
+		if c.gate != nil {
+			c.gate.OnLoadData(&e.di, doneAt)
+		}
+		c.noteResolved(e)
+	case isa.ClassStore:
+		if rs.memPorts == 0 {
+			return
+		}
+		rs.memPorts--
+		c.complete(e, now, c.cfg.StoreLat)
+	case isa.ClassSystem:
+		c.complete(e, now, c.cfg.SystemLat)
 	}
 }
 
@@ -445,7 +525,29 @@ func (c *Core) complete(e *robEntry, now sim.Time, latCycles int) {
 	e.inIQ = false
 	c.iqCount--
 	e.completeAt = now + c.cfg.Clock.Duration(int64(latCycles))
+	c.clearReady(e.id & c.robMask)
+	c.wake(e)
 	c.noteResolved(e)
+}
+
+// wake walks the just-issued producer's waiter list: each waiting
+// consumer folds the producer's completion time into its readyAt, and a
+// consumer whose last outstanding producer issued becomes ready.
+func (c *Core) wake(e *robEntry) {
+	w := e.firstWaiter
+	e.firstWaiter = noWaiter
+	for w != noWaiter {
+		ce := &c.rob[uint64(w)>>2]
+		next := ce.nextWaiter[w&3]
+		if ce.readyAt < e.completeAt {
+			ce.readyAt = e.completeAt
+		}
+		ce.pendingDeps--
+		if ce.pendingDeps == 0 {
+			c.setReady(ce.id & c.robMask)
+		}
+		w = next
+	}
 }
 
 // noteResolved lifts a fetch block once the offending branch has a known
@@ -456,20 +558,6 @@ func (c *Core) noteResolved(e *robEntry) {
 			e.completeAt+c.cfg.Clock.Duration(int64(c.cfg.RedirectCycles)))
 		c.blockedOnSeq = 0
 	}
-}
-
-func (c *Core) sourcesReady(e *robEntry, now sim.Time) bool {
-	for i := 0; i < e.ndeps; i++ {
-		id := e.deps[i]
-		if id < c.headID {
-			continue // producer committed
-		}
-		p := c.entry(id)
-		if !p.issued || now < p.completeAt {
-			return false
-		}
-	}
-	return true
 }
 
 // issueLoad resolves memory dependences with oracle-exact addresses
@@ -501,12 +589,17 @@ func (c *Core) issueLoad(e *robEntry, now sim.Time) (sim.Time, bool) {
 // forwardFromStore finds the youngest older in-flight store overlapping
 // the load. found reports a hit; ready reports whether the store's data
 // is available, in which case the forwarded completion time is returned.
+// The walk covers only the in-flight store index (stores dispatched and
+// not yet committed, in program order), youngest first, instead of every
+// window entry.
 func (c *Core) forwardFromStore(loadID uint64, ld *isa.MemOp, now sim.Time) (at sim.Time, found, ready bool) {
-	for id := loadID; id > c.headID; id-- {
-		p := c.entry(id - 1)
-		if !p.di.Inst.Op.IsStore() || p.di.Thread != 0 {
-			continue
+	mask := int(c.robMask)
+	for i := c.sqLen - 1; i >= 0; i-- {
+		id := c.storeQ[(c.sqHead+i)&mask]
+		if id >= loadID {
+			continue // store younger than the load
 		}
+		p := c.entry(id)
 		for j := uint8(0); j < p.di.NMem; j++ {
 			st := &p.di.Mem[j]
 			if overlaps(st.Addr, st.Size, ld.Addr, ld.Size) {
@@ -535,8 +628,8 @@ func (c *Core) rename(now sim.Time) {
 		return
 	}
 	budget := c.cfg.Width
-	for budget > 0 && len(c.fetchQ) > 0 {
-		f := &c.fetchQ[0]
+	for budget > 0 && c.fqLen > 0 {
+		f := &c.fetchQ[c.fqHead]
 		in := f.di.Inst
 		op := in.Op
 
@@ -561,11 +654,10 @@ func (c *Core) rename(now sim.Time) {
 		}
 
 		id := c.tailID
-		e := c.entry(id)
-		*e = robEntry{di: f.di, id: id, mispredict: f.mispredict, inIQ: true}
-		for i := range e.deps {
-			e.deps[i] = invalidDep
-		}
+		idx := id & c.robMask
+		e := &c.rob[idx]
+		*e = robEntry{di: f.di, id: id, mispredict: f.mispredict, inIQ: true,
+			firstWaiter: noWaiter, nextWaiter: [3]int32{noWaiter, noWaiter, noWaiter}}
 		thr := int(f.di.Thread)
 		for _, s := range in.Srcs(sbuf[:0]) {
 			file := 0
@@ -573,9 +665,25 @@ func (c *Core) rename(now sim.Time) {
 				file = 1
 			}
 			if pid := c.regMap[thr][file][s.Idx]; pid != 0 && pid >= c.headID {
-				e.deps[e.ndeps] = pid
-				e.ndeps++
+				p := c.entry(pid)
+				if p.issued {
+					// Producer already executing: its completion time is
+					// known, fold it in now.
+					if e.readyAt < p.completeAt {
+						e.readyAt = p.completeAt
+					}
+				} else {
+					// Link onto the producer's waiter list; slot k is this
+					// consumer's k-th outstanding producer.
+					k := e.pendingDeps
+					e.nextWaiter[k] = p.firstWaiter
+					p.firstWaiter = int32(idx)<<2 | int32(k)
+					e.pendingDeps++
+				}
 			}
+		}
+		if e.pendingDeps == 0 {
+			c.setReady(idx)
 		}
 		for _, d := range dsts {
 			file := 0
@@ -593,9 +701,17 @@ func (c *Core) rename(now sim.Time) {
 		}
 		if op.IsStore() {
 			c.sqCount += nmem
+			if f.di.Thread == 0 {
+				c.storeQ[(c.sqHead+c.sqLen)&int(c.robMask)] = id
+				c.sqLen++
+			}
 		}
 		c.tailID++
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead++
+		if c.fqHead == len(c.fetchQ) {
+			c.fqHead = 0
+		}
+		c.fqLen--
 		budget--
 	}
 }
@@ -611,7 +727,7 @@ func (c *Core) fetch(now sim.Time) {
 		return
 	}
 	budget := c.cfg.Width
-	for budget > 0 && len(c.fetchQ) < c.cfg.FetchQueue {
+	for budget > 0 && c.fqLen < len(c.fetchQ) {
 		if !c.pendingValid {
 			if c.traceDone || !c.trace.Next(&c.pending) {
 				c.traceDone = true
@@ -635,22 +751,26 @@ func (c *Core) fetch(now sim.Time) {
 			}
 		}
 
-		f := fetchedInst{di: *di}
-		c.pendingValid = false
-		endGroup := false
+		mispredict, endGroup := false, false
 		if di.Inst.Op.IsBranch() && di.Thread != 0 {
 			// Trailing-thread branch outcomes are known from the leading
 			// thread: no prediction, no redirect.
 		} else if di.Inst.Op.IsBranch() {
-			f.mispredict, endGroup = c.predict(di)
-			if f.mispredict {
+			mispredict, endGroup = c.predict(di)
+			if mispredict {
 				c.blockedOnSeq = di.Seq
 				c.bp.NoteDirMiss()
 			}
 		}
-		c.fetchQ = append(c.fetchQ, f)
+		slot := c.fqHead + c.fqLen
+		if slot >= len(c.fetchQ) {
+			slot -= len(c.fetchQ)
+		}
+		c.fetchQ[slot] = fetchedInst{di: *di, mispredict: mispredict}
+		c.fqLen++
+		c.pendingValid = false
 		budget--
-		if f.mispredict {
+		if mispredict {
 			return
 		}
 		if endGroup {

@@ -1,0 +1,66 @@
+// Package prof wires the conventional -cpuprofile / -memprofile flags
+// into the simulator commands, so performance work starts from a
+// profile instead of a guess:
+//
+//	experiments -run fig7 -cpuprofile cpu.pprof
+//	hetsim -workload stream -memprofile mem.pprof
+//	go tool pprof cpu.pprof
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values for one command.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// Register declares -cpuprofile and -memprofile on the default flag
+// set. Call before flag.Parse.
+func Register() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write an allocation profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling if requested and returns a function that
+// finishes the CPU profile and writes the allocation profile. Defer it
+// right after flag.Parse. Early error paths that call os.Exit skip the
+// deferred stop, losing the profile — profiles are for runs that work.
+func (f *Flags) Start() (stop func()) {
+	if *f.cpu != "" {
+		out, err := os.Create(*f.cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(out); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if *f.cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if *f.mem != "" {
+			out, err := os.Create(*f.mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer out.Close()
+			runtime.GC() // materialise final live-heap numbers
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}
+}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Ticker is a clocked component driven by the Engine. Tick is called once
 // per scheduled activation with the current time; it returns the time of
 // the component's next activation, or a time <= now wrapped as (next,
@@ -18,50 +16,48 @@ type Ticker interface {
 	Tick(now Time) (next Time, done bool)
 }
 
-// Engine drives a set of Tickers in global-time order. It is a simple
-// priority-queue discrete-event scheduler: at each step the ticker with
-// the earliest next-activation time runs. Ties are broken by registration
-// order so runs are deterministic.
+// Engine drives a set of Tickers in global-time order. Systems have at
+// most a dozen or so tickers (commonly two: core + detector), so the
+// scheduler is a registration-ordered slice with a linear min scan — no
+// heap churn, no map lookups on the per-tick fast path. Ties are broken
+// by registration order so runs are deterministic.
 type Engine struct {
-	pq      tickerHeap
-	items   map[Ticker]*tickerItem
+	items   []engineItem
+	live    int // items not yet done
 	now     Time
 	stopped bool
 }
 
-type tickerItem struct {
-	t     Ticker
-	at    Time
-	order int
-	index int // heap index, -1 when not queued
+type engineItem struct {
+	t    Ticker
+	at   Time
+	done bool
 }
 
 // NewEngine returns an empty engine at time zero.
-func NewEngine() *Engine {
-	return &Engine{items: make(map[Ticker]*tickerItem)}
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now reports the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
 // Add registers a ticker whose first activation is at time at.
 func (e *Engine) Add(t Ticker, at Time) {
-	it := &tickerItem{t: t, at: at, order: len(e.items), index: -1}
-	e.items[t] = it
-	heap.Push(&e.pq, it)
+	e.items = append(e.items, engineItem{t: t, at: at})
+	e.live++
 }
 
 // Wake reschedules a registered ticker to run at time at if that is
 // earlier than its currently scheduled activation. Waking an unregistered
 // or finished ticker is a no-op.
 func (e *Engine) Wake(t Ticker, at Time) {
-	it, ok := e.items[t]
-	if !ok || it.index < 0 {
-		return
-	}
-	if at < it.at {
-		it.at = at
-		heap.Fix(&e.pq, it.index)
+	for i := range e.items {
+		it := &e.items[i]
+		if it.t == t {
+			if !it.done && at < it.at {
+				it.at = at
+			}
+			return
+		}
 	}
 }
 
@@ -73,58 +69,34 @@ func (e *Engine) Stop() { e.stopped = true }
 // It returns the final simulation time.
 func (e *Engine) Run(limit Time) Time {
 	e.stopped = false
-	for len(e.pq) > 0 && !e.stopped {
-		it := e.pq[0]
-		if it.at > limit {
+	for e.live > 0 && !e.stopped {
+		// Earliest activation, first-registered wins ties.
+		best := -1
+		at := Time(0)
+		for i := range e.items {
+			it := &e.items[i]
+			if !it.done && (best < 0 || it.at < at) {
+				best, at = i, it.at
+			}
+		}
+		if at > limit {
 			break
 		}
-		if it.at > e.now {
-			e.now = it.at
+		if at > e.now {
+			e.now = at
 		}
-		next, done := it.t.Tick(e.now)
-		// A Tick may have re-heaped other items (e.g. waking a checker),
-		// so re-locate the current item by its tracked index.
+		next, done := e.items[best].t.Tick(e.now)
+		// The Tick may have called Wake on other items; e.items[best]
+		// itself is only rescheduled here.
 		if done {
-			heap.Remove(&e.pq, it.index)
-			it.index = -1
-			delete(e.items, it.t)
+			e.items[best].done = true
+			e.live--
 			continue
 		}
 		if next <= e.now {
 			next = e.now + 1
 		}
-		it.at = next
-		heap.Fix(&e.pq, it.index)
+		e.items[best].at = next
 	}
 	return e.now
-}
-
-// tickerHeap implements heap.Interface ordered by (at, order).
-type tickerHeap []*tickerItem
-
-func (h tickerHeap) Len() int { return len(h) }
-func (h tickerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].order < h[j].order
-}
-func (h tickerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *tickerHeap) Push(x any) {
-	it := x.(*tickerItem)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *tickerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
 }
