@@ -42,14 +42,28 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"time"
 
 	"paradet/internal/campaign"
 	"paradet/internal/experiments"
+	"paradet/internal/obs"
 	"paradet/internal/orchestrator"
 	"paradet/internal/prof"
 	"paradet/internal/resultstore"
 )
+
+// liveProgress is the /progress snapshot for in-process campaign runs
+// (the orchestrated form lives in orchestrator.Snapshot).
+type liveProgress struct {
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Hits     int    `json:"hits"`
+	Sims     int    `json:"sims"`
+	Workload string `json:"workload"`
+	Point    string `json:"point"`
+	Scheme   string `json:"scheme"`
+}
 
 func main() {
 	run := flag.String("run", "all", "experiment to run: all, or one of "+
@@ -66,6 +80,7 @@ func main() {
 	shardArg := flag.String("shard", "", "execute one slice i/n of every sweep's grid (e.g. 0/3); merge the shard stores with pdstore")
 	shardStrategy := flag.String("shard-strategy", "", "cell assignment for -shard: round-robin (default) or weighted (balance summed instruction samples)")
 	profFlags := prof.Register()
+	obsFlags := obs.Register()
 	flag.Parse()
 	defer profFlags.Start()()
 
@@ -134,6 +149,33 @@ func main() {
 				p.CellHits+p.BaselineHits, p.CellSims, p.BaselineSims)
 		}
 	}
+
+	// With -ledger or -debug-addr set, chain a live-snapshot recorder
+	// onto the progress callback (whatever mode it is in) so /progress
+	// always answers; unobserved runs keep the progress==nil fast path.
+	var liveMu sync.Mutex
+	var live liveProgress
+	if obsFlags.Active() {
+		prev := opts.Progress
+		opts.Progress = func(p campaign.Progress) {
+			liveMu.Lock()
+			live = liveProgress{
+				Done: p.Done, Total: p.Total,
+				Hits: p.CellHits + p.BaselineHits, Sims: p.CellSims + p.BaselineSims,
+				Workload: p.Workload, Point: p.Label, Scheme: string(p.Scheme),
+			}
+			liveMu.Unlock()
+			if prev != nil {
+				prev(p)
+			}
+		}
+	}
+	stopObs := obsFlags.Start(func() any {
+		liveMu.Lock()
+		defer liveMu.Unlock()
+		return live
+	})
+	defer stopObs()
 
 	names := experiments.Names()
 	if *run != "all" {

@@ -36,15 +36,29 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"paradet"
 	"paradet/internal/campaign"
 	"paradet/internal/experiments"
+	"paradet/internal/obs"
 	"paradet/internal/orchestrator"
 	"paradet/internal/prof"
 	"paradet/internal/resultstore"
 )
+
+// liveProgress is the /progress snapshot for fault campaigns (mirrors
+// the experiments command; single runs serve no /progress).
+type liveProgress struct {
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Hits     int    `json:"hits"`
+	Sims     int    `json:"sims"`
+	Workload string `json:"workload"`
+	Point    string `json:"point"`
+	Scheme   string `json:"scheme"`
+}
 
 func main() {
 	workload := flag.String("workload", "", "workload name (see -list)")
@@ -67,6 +81,7 @@ func main() {
 	shardStrategy := flag.String("shard-strategy", "", "fault campaign: cell assignment for -shard, round-robin (default) or weighted")
 	progressJSON := flag.Bool("progress-json", false, "fault campaign: emit one JSON progress line per completed cell to stderr (the pdsweep protocol)")
 	profFlags := prof.Register()
+	obsFlags := obs.Register()
 	flag.Parse()
 	defer profFlags.Start()()
 
@@ -111,7 +126,7 @@ func main() {
 		}
 		err = runFaultCampaign(*workload, cfg, faultGridArgs{
 			targets: *faultTargets, seqs: *faultSeqs, bits: *faultBits, sticky: *faultSticky,
-		}, *storeDir, *jsonOut, *progressJSON, shard)
+		}, *storeDir, *jsonOut, *progressJSON, shard, obsFlags)
 		if err != nil {
 			fail(err)
 		}
@@ -120,6 +135,11 @@ func main() {
 	if *shardArg != "" || *shardStrategy != "" || *progressJSON {
 		fail(fmt.Errorf("-shard, -shard-strategy and -progress-json only apply to fault campaigns (-fault-targets)"))
 	}
+
+	// Single runs still get /metrics, /debug/pprof and the ledger; only
+	// /progress (a campaign concept) is absent.
+	stopObs := obsFlags.Start(nil)
+	defer stopObs()
 
 	prog, name, def, err := loadProgram(*workload, *asmFile)
 	if err != nil {
@@ -239,7 +259,7 @@ func parseGrid(a faultGridArgs) (campaign.FaultGrid, error) {
 // prints either the text summary or the versioned JSON report. A
 // non-nil shard restricts it to that slice of the grid (the report
 // then only covers the shard's cells).
-func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, storeDir string, jsonOut, progressJSON bool, shard *campaign.Shard) error {
+func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, storeDir string, jsonOut, progressJSON bool, shard *campaign.Shard, obsFlags *obs.Flags) error {
 	grid, err := parseGrid(args)
 	if err != nil {
 		return err
@@ -255,6 +275,29 @@ func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, s
 	if progressJSON {
 		opts.Progress = orchestrator.Emitter(os.Stderr, shard, time.Now())
 	}
+	var liveMu sync.Mutex
+	var live liveProgress
+	if obsFlags.Active() {
+		prev := opts.Progress
+		opts.Progress = func(p campaign.Progress) {
+			liveMu.Lock()
+			live = liveProgress{
+				Done: p.Done, Total: p.Total,
+				Hits: p.CellHits + p.BaselineHits, Sims: p.CellSims + p.BaselineSims,
+				Workload: p.Workload, Point: p.Label, Scheme: string(p.Scheme),
+			}
+			liveMu.Unlock()
+			if prev != nil {
+				prev(p)
+			}
+		}
+	}
+	stopObs := obsFlags.Start(func() any {
+		liveMu.Lock()
+		defer liveMu.Unlock()
+		return live
+	})
+	defer stopObs()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 

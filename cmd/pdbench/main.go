@@ -83,6 +83,7 @@ func runCmd(args []string) {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Benchtime: *benchtime,
+		Env:       bench.CurrentEnv(),
 		Metrics:   make(map[string]bench.Metrics),
 	}
 	for _, c := range bench.Cases() {
@@ -138,6 +139,12 @@ func compareCmd(args []string) {
 
 	deltas, ok := bench.Compare(a, b, *maxRegress, *maxAllocGrowth)
 	fmt.Printf("baseline %s (%s) vs candidate %s (%s)\n", a.Rev, a.Benchtime, b.Rev, b.Benchtime)
+	// Environment drift never fails the gate — the thresholds absorb
+	// machine noise — but it must be visible next to the numbers it
+	// taints.
+	for _, m := range bench.EnvMismatches(a, b) {
+		fmt.Printf("WARNING: environment mismatch — %s\n", m)
+	}
 	fmt.Printf("%-42s %14s %14s %9s\n", "metric", a.Rev, b.Rev, "delta")
 	for _, d := range deltas {
 		name := d.Group + "." + d.Metric

@@ -44,6 +44,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -59,7 +60,8 @@ Usage:
   pdstore merge [-strict] -into DIR SRC [SRC...]
                                          fold source stores into DIR (-strict:
                                          exit 1 if corrupt cells were skipped)
-  pdstore stats DIR                      per-scheme footprint + segment/index health
+  pdstore stats [-json] DIR              per-scheme footprint + segment/index health
+                                         (-json: one schema-pinned JSON document)
   pdstore compact [-older-than DUR] [-dry-run] DIR
                                          pack cold loose cells into a segment file
   pdstore gc -older-than DUR [-dry-run] DIR
@@ -151,6 +153,7 @@ func runMerge(args []string) error {
 
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the footprint as one JSON document (schema-pinned; for scripts and CI)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("stats: want exactly one store directory")
@@ -162,6 +165,11 @@ func runStats(args []string) error {
 	fp, err := s.Footprint()
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(resultstore.StatsReport{Schema: resultstore.StatsSchemaVersion, Dir: s.Dir(), Footprint: fp})
 	}
 	fmt.Printf("%s: %d cells, %.1f KiB\n", s.Dir(), fp.Cells, float64(fp.Bytes)/1024)
 	fmt.Printf("  %-14s %8s %8s %10s\n", "scheme", "cells", "faults", "KiB")

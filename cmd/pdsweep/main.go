@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"paradet/internal/campaign"
+	"paradet/internal/obs"
 	"paradet/internal/orchestrator"
 )
 
@@ -55,6 +56,8 @@ func main() {
 	strategyArg := flag.String("shard-strategy", string(campaign.StrategyWeighted), "cell assignment: weighted (balance summed instruction samples) or round-robin")
 	compact := flag.Bool("compact", false, "pack the merged store into a segment file before assembly (keep -store-root to reuse the packed store)")
 	tick := flag.Duration("tick", time.Second, "minimum interval between progress lines on stderr")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the sweep to this file (open in chrome://tracing or Perfetto): shards as processes, cells as slices")
+	obsFlags := obs.Register()
 	flag.Parse()
 
 	argv := flag.Args()
@@ -105,21 +108,61 @@ func main() {
 	}
 
 	// Live aggregate ticker: one line per -tick, plus milestones the
-	// throttle must not eat (handled by the final summary).
+	// throttle must not eat (handled by the final summary). Every
+	// snapshot is also kept (unthrottled) for the /progress endpoint.
 	var mu sync.Mutex
 	var lastPrint time.Time
+	var lastSnap orchestrator.Snapshot
 	progress := func(s orchestrator.Snapshot) {
 		mu.Lock()
 		defer mu.Unlock()
+		lastSnap = s
 		if time.Since(lastPrint) < *tick {
 			return
 		}
 		lastPrint = time.Now()
 		line := fmt.Sprintf("cells %d/%d · sims %d · hits %d", s.Done, s.Total, s.Sims, s.Hits)
+		if s.EtaMS > 0 {
+			line += fmt.Sprintf(" · eta %s", (time.Duration(s.EtaMS) * time.Millisecond).Round(time.Second))
+		}
 		if s.Slowest >= 0 {
 			line += fmt.Sprintf(" · shard %d slowest", s.Slowest)
 		}
 		fmt.Fprintln(os.Stderr, line)
+	}
+
+	stopObs := obsFlags.Start(func() any {
+		mu.Lock()
+		defer mu.Unlock()
+		return lastSnap
+	})
+
+	// -trace renders the sweep as a Chrome trace: one process per
+	// shard, one duration slice per cell (its own simulation time;
+	// store hits are zero-width marks). The file is written on every
+	// exit path — a partial timeline of a failed sweep is exactly when
+	// you want one.
+	var trace *obs.Trace
+	var onEvent func(int, orchestrator.Event)
+	if *tracePath != "" {
+		trace = obs.NewTrace()
+		onEvent = func(shard int, e orchestrator.Event) {
+			trace.ProcessName(shard, fmt.Sprintf("shard %d", shard))
+			trace.Slice(shard, fmt.Sprintf("%s/%s[%s]", e.Workload, e.Point, e.Scheme),
+				(e.ElapsedMS-e.SimMS)*1000, e.SimMS*1000,
+				map[string]any{"cell": e.Cell, "hit": e.Hit})
+		}
+	}
+	onExit = func() {
+		if trace != nil {
+			if err := trace.WriteFile(*tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, "pdsweep: trace:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "pdsweep: trace written to %s (%d slices)\n", *tracePath, trace.Len())
+			}
+			trace = nil
+		}
+		stopObs()
 	}
 
 	// Ctrl-C cancels every worker; finished cells stay in the shard
@@ -137,6 +180,7 @@ func main() {
 		Retries:   *retries,
 		Compact:   *compact,
 		Progress:  progress,
+		OnEvent:   onEvent,
 		Stdout:    os.Stdout,
 		Stderr:    os.Stderr,
 	})
@@ -162,6 +206,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "pdsweep: %d shard(s) ok, %d retr%s · %s · assembled cells=%d hits=%d misses=%d%s · %.1fs\n",
 		*n, rep.Retried(), plural(rep.Retried(), "y", "ies"), rep.Merge, rep.Cells, rep.Hits, rep.Sims, compacted,
 		time.Since(start).Seconds())
+	onExit()
 	if cleanup {
 		os.RemoveAll(root)
 	}
@@ -174,7 +219,13 @@ func plural(n int, one, many string) string {
 	return many
 }
 
+// onExit flushes observability outputs (trace file, ledger, debug
+// endpoint) before the process exits; fail routes through it so error
+// exits keep their partial trace and every ledger line.
+var onExit = func() {}
+
 func fail(err error) {
+	onExit()
 	fmt.Fprintln(os.Stderr, "pdsweep:", err)
 	os.Exit(1)
 }

@@ -12,6 +12,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -239,7 +240,10 @@ func FaultGridCampaign(b *testing.B) {
 	b.ReportMetric(float64(cells), "cells")
 }
 
-// Report is the schema-stable BENCH_<rev>.json payload.
+// Report is the schema-stable BENCH_<rev>.json payload. Env arrived
+// after the first committed baselines, so it is additive (omitempty)
+// and the legacy top-level go/goos/goarch/numcpu fields stay: old
+// reports keep validating, and EnvMismatches falls back to them.
 type Report struct {
 	Schema    int                `json:"schema"`
 	Rev       string             `json:"rev"`
@@ -248,7 +252,63 @@ type Report struct {
 	GOARCH    string             `json:"goarch"`
 	NumCPU    int                `json:"numcpu"`
 	Benchtime string             `json:"benchtime"`
+	Env       *Env               `json:"env,omitempty"`
 	Metrics   map[string]Metrics `json:"metrics"`
+}
+
+// Env captures the machine and runtime a report was measured on, so
+// cross-environment comparisons can be flagged instead of trusted.
+type Env struct {
+	GoVersion  string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numcpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentEnv snapshots the running process's environment.
+func CurrentEnv() *Env {
+	return &Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// env returns the report's environment, synthesized from the legacy
+// top-level fields for reports written before the env block existed
+// (their GOMAXPROCS is unknown, left 0).
+func (r *Report) env() Env {
+	if r.Env != nil {
+		return *r.Env
+	}
+	return Env{GoVersion: r.GoVersion, GOOS: r.GOOS, GOARCH: r.GOARCH, NumCPU: r.NumCPU}
+}
+
+// EnvMismatches describes every way two reports' environments differ.
+// A non-empty result does not invalidate a comparison — it flags that
+// the deltas partly measure the machines, not the code. GOMAXPROCS is
+// only compared when both sides recorded it (legacy reports did not).
+func EnvMismatches(a, b *Report) []string {
+	ae, be := a.env(), b.env()
+	var out []string
+	diff := func(field, av, bv string) {
+		if av != bv {
+			out = append(out, fmt.Sprintf("%s: %s vs %s", field, av, bv))
+		}
+	}
+	diff("go", ae.GoVersion, be.GoVersion)
+	diff("goos", ae.GOOS, be.GOOS)
+	diff("goarch", ae.GOARCH, be.GOARCH)
+	if ae.NumCPU != be.NumCPU {
+		out = append(out, fmt.Sprintf("numcpu: %d vs %d", ae.NumCPU, be.NumCPU))
+	}
+	if ae.GOMAXPROCS != 0 && be.GOMAXPROCS != 0 && ae.GOMAXPROCS != be.GOMAXPROCS {
+		out = append(out, fmt.Sprintf("gomaxprocs: %d vs %d", ae.GOMAXPROCS, be.GOMAXPROCS))
+	}
+	return out
 }
 
 // Validate checks a report against the pinned schema: version, and

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -130,5 +131,59 @@ func TestCompareGates(t *testing.T) {
 	})
 	if _, ok := Compare(base, faster, 15, 10); !ok {
 		t.Error("improvements must pass")
+	}
+}
+
+// TestEnvMismatches covers the env block's comparison rules: identical
+// environments are silent, every differing field is named, legacy
+// reports (no env block) compare through their top-level fields, and
+// GOMAXPROCS is skipped when either side predates it.
+func TestEnvMismatches(t *testing.T) {
+	mk := func(tweak func(*Env)) *Report {
+		e := &Env{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 8, GOMAXPROCS: 8}
+		if tweak != nil {
+			tweak(e)
+		}
+		return testReport(func(r *Report) { r.Env = e })
+	}
+	if m := EnvMismatches(mk(nil), mk(nil)); len(m) != 0 {
+		t.Errorf("identical envs flagged: %v", m)
+	}
+	diff := EnvMismatches(mk(nil), mk(func(e *Env) {
+		e.GoVersion, e.NumCPU, e.GOMAXPROCS = "go1.25.0", 16, 4
+	}))
+	if len(diff) != 3 {
+		t.Errorf("want 3 mismatches (go, numcpu, gomaxprocs), got %v", diff)
+	}
+
+	// A legacy report synthesizes its env from the top-level fields.
+	legacy := testReport(func(r *Report) {
+		r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU = "go1.24.0", "linux", "amd64", 8
+	})
+	if m := EnvMismatches(legacy, mk(nil)); len(m) != 0 {
+		t.Errorf("legacy report with matching fields flagged: %v (GOMAXPROCS must be skipped)", m)
+	}
+	if m := EnvMismatches(legacy, mk(func(e *Env) { e.GOARCH = "arm64" })); len(m) != 1 {
+		t.Errorf("legacy goarch mismatch missed: %v", m)
+	}
+
+	// The env block survives a JSON round trip and stays optional.
+	buf, err := json.Marshal(mk(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Env == nil || back.Env.GOMAXPROCS != 8 {
+		t.Errorf("env block lost in round trip: %+v", back.Env)
+	}
+	legacyBuf, _ := json.Marshal(legacy)
+	if json.Unmarshal(legacyBuf, &Report{}) != nil {
+		t.Error("legacy report (no env) must still parse")
+	}
+	if strings.Contains(string(legacyBuf), `"env"`) {
+		t.Error("nil env must be omitted from the JSON")
 	}
 }

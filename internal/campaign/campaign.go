@@ -7,8 +7,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"paradet"
+	"paradet/internal/obs"
 	"paradet/internal/resultstore"
 )
 
@@ -98,6 +100,9 @@ type Progress struct {
 	Workload, Label string
 	Scheme          Scheme
 	Cached          bool
+	// Elapsed is the cell's wall-clock latency — near zero for
+	// store-served cells, the simulation time otherwise.
+	Elapsed time.Duration
 	// Err is the cell's failure, if any.
 	Err error
 }
@@ -227,6 +232,7 @@ func (c *refCache) unprotected(ctx context.Context, cfg paradet.Config, workload
 	if !needMem && c.store != nil {
 		if cell, ok := c.store.Get(key.storeKey()); ok && cell.Result != nil {
 			c.ctrs.baseHits.Add(1)
+			obsRefHit.Inc()
 			e.res, e.fromStore = cell.Result, true
 			return e.res, true, nil
 		}
@@ -235,6 +241,7 @@ func (c *refCache) unprotected(ctx context.Context, cfg paradet.Config, workload
 		return nil, false, err
 	}
 	c.ctrs.baseSims.Add(1)
+	obsRefSim.Inc()
 	res, err := c.sim.RunUnprotected(ctx, cfg, p)
 	if err == nil && res.TimeNS == 0 {
 		err = fmt.Errorf("zero-length baseline run")
@@ -265,6 +272,7 @@ func (c *refCache) reference(ctx context.Context, cfg paradet.Config, workload s
 	if c.store != nil {
 		if cell, ok := c.store.Get(key.storeKey()); ok && cell.Baseline != nil {
 			c.ctrs.baseHits.Add(1)
+			obsRefHit.Inc()
 			e.aux, e.fromStore = cell.Baseline, true
 			return e.aux, true, nil
 		}
@@ -273,6 +281,7 @@ func (c *refCache) reference(ctx context.Context, cfg paradet.Config, workload s
 		return nil, false, err
 	}
 	c.ctrs.baseSims.Add(1)
+	obsRefSim.Inc()
 	var aux *paradet.BaselineResult
 	var err error
 	if scheme == SchemeLockstep {
@@ -388,9 +397,17 @@ func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options)
 		total:    len(owned),
 	}
 	eng.cache = newRefCache(sim, opts.Store, eng.ctrs)
+	if obs.Enabled() {
+		obs.Emit(obs.Entry{Event: "sweep_start", Phase: "campaign", Detail: spec.Name, Count: len(owned)})
+	}
 	forEach(spec.Parallel, len(owned), func(n int) {
 		r := &out.Results[owned[n]]
 		l := progs[r.Workload]
+		if obs.Enabled() {
+			obs.Emit(obs.Entry{Event: "cell_start", Phase: "campaign", Cell: obs.Int(owned[n]),
+				Workload: r.Workload, Point: r.Point.Label, Scheme: string(r.Scheme), Detail: spec.Name})
+		}
+		start := time.Now()
 		switch {
 		case ctx.Err() != nil:
 			r.Err = ctx.Err()
@@ -399,8 +416,11 @@ func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options)
 		default:
 			eng.run(ctx, r, l.prog, spec.WithBaseline)
 		}
-		eng.report(owned[n], r)
+		eng.report(owned[n], r, time.Since(start))
 	})
+	if obs.Enabled() {
+		obs.Emit(obs.Entry{Event: "sweep_done", Phase: "campaign", Detail: spec.Name, Count: len(owned)})
+	}
 	out.Stats = eng.ctrs.stats(len(out.Results))
 	out.Stats.ShardCells = len(owned)
 	out.Stats.ShardSkipped = len(out.Results) - len(owned)
@@ -425,7 +445,8 @@ type engine struct {
 // every worker's counter updates, because each cell's increments
 // happen before its own report and all prior reports released the
 // mutex this one holds.
-func (e *engine) report(cell int, r *Run) {
+func (e *engine) report(cell int, r *Run, elapsed time.Duration) {
+	e.observe(cell, r, elapsed)
 	if e.progress == nil {
 		e.ctrs.done.Add(1)
 		return
@@ -445,8 +466,34 @@ func (e *engine) report(cell int, r *Run) {
 		Label:        r.Point.Label,
 		Scheme:       r.Scheme,
 		Cached:       r.Cached,
+		Elapsed:      elapsed,
 		Err:          r.Err,
 	})
+}
+
+// observe records the cell on the metrics registry (always — the cost
+// is a couple of atomics) and on the run ledger (only when one is
+// attached).
+func (e *engine) observe(cell int, r *Run, elapsed time.Duration) {
+	obsCellSeconds.Observe(elapsed.Seconds())
+	switch {
+	case r.Err != nil:
+		obsCellErr.Inc()
+	case r.Cached:
+		obsCellHit.Inc()
+	default:
+		obsCellSim.Inc()
+	}
+	if !obs.Enabled() {
+		return
+	}
+	ent := obs.Entry{Event: "cell_done", Phase: "campaign", Cell: obs.Int(cell),
+		Workload: r.Workload, Point: r.Point.Label, Scheme: string(r.Scheme),
+		Hit: r.Cached, DurMS: elapsed.Milliseconds()}
+	if r.Err != nil {
+		ent.Err = r.Err.Error()
+	}
+	obs.Emit(ent)
 }
 
 // cellKey is the persistent identity of one cell. Protected and fault

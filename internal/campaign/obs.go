@@ -1,0 +1,19 @@
+package campaign
+
+import "paradet/internal/obs"
+
+// Campaign metrics, registered once at package init with children
+// pre-resolved so the hot path is a single atomic per event — cheap
+// enough to leave always-on without disturbing the bench gate.
+var (
+	obsCellSeconds = obs.Default().Histogram("paradet_campaign_cell_seconds",
+		"End-to-end cell latency (simulate or store-serve), seconds.", obs.DurationBuckets)
+	obsCells   = obs.Default().CounterVec("paradet_campaign_cells_total", "Cells finished, by outcome.", "state")
+	obsCellHit = obsCells.With("hit")
+	obsCellSim = obsCells.With("sim")
+	obsCellErr = obsCells.With("error")
+	obsRefs    = obs.Default().CounterVec("paradet_campaign_reference_runs_total",
+		"Memoised reference runs (unprotected/lockstep/RMT baselines), by source.", "state")
+	obsRefHit = obsRefs.With("hit")
+	obsRefSim = obsRefs.With("sim")
+)

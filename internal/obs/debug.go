@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// A DebugServer is the opt-in -debug-addr HTTP endpoint: /metrics in
+// Prometheus text format, /progress as a JSON snapshot of the live
+// aggregate state, and the standard /debug/pprof handlers. It binds
+// its own mux (never http.DefaultServeMux) so importing this package
+// exposes nothing by accident.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebug listens on addr (e.g. ":9090" or "127.0.0.1:0") and
+// serves the registry and, when progress is non-nil, the /progress
+// snapshot it returns. The listener is bound synchronously — Addr is
+// valid on return — and requests are served on a background
+// goroutine.
+func StartDebug(addr string, reg *Registry, progress func() any) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "paradet debug endpoint\n\n/metrics\n/progress\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		if progress == nil {
+			http.Error(w, "no progress source attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(progress()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	d := &DebugServer{ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return d, nil
+}
+
+// Addr reports the bound address (host:port, with the real port even
+// when the request was ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// URL reports the endpoint's base URL.
+func (d *DebugServer) URL() string {
+	host, port, err := net.SplitHostPort(d.Addr())
+	if err != nil {
+		return "http://" + d.Addr()
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDebugServer boots the endpoint on an ephemeral port and checks
+// every route: /metrics carries a registered metric in exposition
+// format, /progress serves the provider's JSON, /debug/pprof/ answers,
+// and unknown paths 404.
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug_probe_total", "probe").Add(7)
+
+	srv, err := StartDebug("127.0.0.1:0", reg, func() any {
+		return map[string]int{"done": 3, "total": 9}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.URL(), "http://127.0.0.1:") {
+		t.Fatalf("URL = %q", srv.URL())
+	}
+
+	if code, body := get(t, srv.URL()+"/metrics"); code != 200 || !strings.Contains(body, "debug_probe_total 7\n") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get(t, srv.URL()+"/progress"); code != 200 ||
+		!strings.Contains(body, `"done": 3`) || !strings.Contains(body, `"total": 9`) {
+		t.Errorf("/progress = %d: %s", code, body)
+	}
+	if code, _ := get(t, srv.URL()+"/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, body := get(t, srv.URL()); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d: %s", code, body)
+	}
+	if code, _ := get(t, srv.URL()+"/nope"); code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(srv.URL() + "/metrics"); err == nil {
+		t.Error("server still answering after Close")
+	}
+}
+
+// TestDebugServerNoProgress: without a progress provider the snapshot
+// route reports 404 instead of serving null.
+func TestDebugServerNoProgress(t *testing.T) {
+	srv, err := StartDebug("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, srv.URL()+"/progress"); code != 404 {
+		t.Errorf("/progress without provider = %d, want 404", code)
+	}
+}

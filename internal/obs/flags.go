@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags holds the shared observability flag values for one command:
+//
+//	experiments -run fig7 -ledger run.jsonl -debug-addr :9090
+//	hetsim -workload stream -fault-targets all -debug-addr 127.0.0.1:0
+//	pdsweep -n 3 -ledger sweep.jsonl -trace sweep.json -debug-addr :0 ...
+//
+// (-trace is pdsweep-specific and registered there.) Both signals
+// bypass stdout entirely — the ledger goes to its file, the debug
+// endpoint to HTTP, and the announcement line to stderr — so enabling
+// them never perturbs byte-identical figure output.
+type Flags struct {
+	debugAddr *string
+	ledger    *string
+}
+
+// Register declares -debug-addr and -ledger on the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	return &Flags{
+		debugAddr: flag.String("debug-addr", "", "serve /metrics, /progress and /debug/pprof on this address (e.g. :9090, 127.0.0.1:0)"),
+		ledger:    flag.String("ledger", "", "append one JSON line per run event to this file (the run ledger)"),
+	}
+}
+
+// Active reports whether any observability flag was set, so commands
+// can skip progress-chaining work on unobserved runs. Only valid
+// after flag.Parse.
+func (f *Flags) Active() bool { return *f.debugAddr != "" || *f.ledger != "" }
+
+// Start opens the ledger (installing it as the process sink) and the
+// debug endpoint, as requested, and returns a stop function that
+// flushes and shuts both down. progress, when non-nil, backs the
+// /progress snapshot. The stop function is safe to call more than
+// once, so error paths can flush explicitly before exiting.
+func (f *Flags) Start(progress func() any) (stop func()) {
+	var ledger *Ledger
+	if *f.ledger != "" {
+		l, err := OpenLedger(*f.ledger)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ledger = l
+		SetLedger(l)
+	}
+	var srv *DebugServer
+	if *f.debugAddr != "" {
+		s, err := StartDebug(*f.debugAddr, Default(), progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv = s
+		// CI and scripts scrape the endpoint mid-run; with ":0" they
+		// learn the real port from this exact line.
+		fmt.Fprintf(os.Stderr, "obs: debug endpoint on %s (/metrics /progress /debug/pprof)\n", s.URL())
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if srv != nil {
+			srv.Close()
+		}
+		if ledger != nil {
+			SetLedger(nil)
+			ledger.Close()
+		}
+	}
+}

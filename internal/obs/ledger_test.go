@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLedgerEveryLineValidJSON is the ledger's core property, checked
+// over randomized event batches written from concurrent goroutines:
+// every line parses as one JSON Entry, sequence numbers are exactly
+// 1..N in file order, and timestamps never decrease along the file.
+func TestLedgerEveryLineValidJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	events := []string{"cell_start", "cell_done", "store_hit", "store_write", "merge", "compact"}
+	var buf bytes.Buffer
+	l := NewLedger(&syncWriter{w: &buf})
+
+	const workers, per = 6, 200
+	var wg sync.WaitGroup
+	batches := make([][]Entry, workers)
+	for w := range batches {
+		batch := make([]Entry, per)
+		for i := range batch {
+			batch[i] = Entry{
+				Event:    events[rng.Intn(len(events))],
+				Workload: "w" + strings.Repeat("x", rng.Intn(3)),
+				Hit:      rng.Intn(2) == 0,
+				DurMS:    int64(rng.Intn(500)),
+			}
+			if rng.Intn(2) == 0 {
+				batch[i].Cell = Int(rng.Intn(100))
+				batch[i].Shard = Int(rng.Intn(4))
+			}
+		}
+		batches[w] = batch
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, e := range batches[w] {
+				l.Record(e)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	lastT := int64(-1)
+	for sc.Scan() {
+		n++
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not valid JSON: %v: %s", n, err, sc.Text())
+		}
+		if e.Seq != int64(n) {
+			t.Fatalf("line %d has seq %d (ordering or loss)", n, e.Seq)
+		}
+		if e.TMS < lastT {
+			t.Fatalf("line %d: t_ms regressed %d -> %d", n, lastT, e.TMS)
+		}
+		lastT = e.TMS
+		if e.Event == "" {
+			t.Fatalf("line %d: empty event", n)
+		}
+	}
+	if n != workers*per {
+		t.Fatalf("got %d lines, want %d", n, workers*per)
+	}
+}
+
+// syncWriter makes a bytes.Buffer safe for the ledger's concurrent
+// single-call writes (a real file is already safe).
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestEntrySchemaGolden pins the wire names of the ledger schema —
+// they are a public interface (README documents them) and must only
+// grow, never change.
+func TestEntrySchemaGolden(t *testing.T) {
+	full, err := json.Marshal(Entry{
+		TMS: 12, Seq: 3, Event: "cell_done", Phase: "shard",
+		Shard: Int(1), Cell: Int(7), Workload: "stream", Point: "tableI",
+		Scheme: "protected", Hit: true, DurMS: 250, Count: 2,
+		Detail: "fig7", Err: "boom",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t_ms":12,"seq":3,"event":"cell_done","phase":"shard","shard":1,"cell":7,` +
+		`"workload":"stream","point":"tableI","scheme":"protected","hit":true,` +
+		`"dur_ms":250,"count":2,"detail":"fig7","err":"boom"}`
+	if string(full) != want {
+		t.Errorf("ledger schema drifted:\n got %s\nwant %s", full, want)
+	}
+	// Optional fields vanish when unset — zero shard/cell indices
+	// survive because they ride pointers.
+	min, _ := json.Marshal(Entry{TMS: 1, Seq: 1, Event: "merge", Shard: Int(0)})
+	if string(min) != `{"t_ms":1,"seq":1,"event":"merge","shard":0}` {
+		t.Errorf("minimal entry drifted: %s", min)
+	}
+}
+
+// TestLedgerFileAppendAndGlobalSink round-trips OpenLedger +
+// SetLedger/Emit/Enabled, and verifies re-opening appends.
+func TestLedgerFileAppendAndGlobalSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("ledger enabled before SetLedger")
+	}
+	SetLedger(l)
+	if !Enabled() {
+		t.Fatal("ledger not enabled after SetLedger")
+	}
+	Emit(Entry{Event: "one"})
+	SetLedger(nil)
+	Emit(Entry{Event: "dropped"}) // must go nowhere
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Record(Entry{Event: "two"})
+	l2.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (append lost or dropped line written): %q", len(lines), lines)
+	}
+	var e Entry
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil || e.Event != "two" {
+		t.Fatalf("appended line = %q (%v)", lines[1], err)
+	}
+}

@@ -1,0 +1,363 @@
+// Package obs is the repository's dependency-free observability
+// layer: a concurrency-safe metrics registry exported in Prometheus
+// text-exposition format, a JSON-lines run ledger, a Chrome
+// trace-event exporter, and an opt-in debug HTTP endpoint. Every
+// long-running path (the campaign engine, the result store, the
+// orchestrator) records into the package-level default registry and,
+// when one is attached, the process ledger.
+//
+// The layer rides the platform's zero-drift contract: nothing here
+// ever writes to stdout (signals go to stderr, files, or HTTP), and
+// the disabled state costs a few atomic operations per cell — far
+// below the bench gate's noise floor — and zero allocations on any
+// hot path (guard ledger emission with Enabled()).
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DurationBuckets is the default histogram bucketing for wall-clock
+// durations in seconds: 1ms to 60s, roughly logarithmic. Campaign
+// cells, store writes and compactions all fit this range.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// A Registry holds named metrics and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use;
+// registration of an already-registered name returns the existing
+// metric (or panics if the kind differs — a programming error).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// metric is the exporter-side interface every metric kind implements.
+type metric interface {
+	// meta reports the metric's name, help and Prometheus type.
+	meta() (name, help, typ string)
+	// write renders the metric's sample lines (no trailing metadata).
+	write(w io.Writer)
+}
+
+// NewRegistry returns an empty registry. Most callers want Default().
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+var std = NewRegistry()
+
+// Default returns the process-wide registry every instrumented
+// package records into and the -debug-addr endpoint serves.
+func Default() *Registry { return std }
+
+// register installs m under its name, or returns the existing metric.
+func (r *Registry) register(name string, mk func() metric) metric {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := mk()
+	r.metrics[name] = m
+	return m
+}
+
+// Counter registers (or fetches) a monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, func() metric { return &Counter{name: name, help: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+	}
+	return c
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, func() metric { return &Gauge{name: name, help: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+	}
+	return g
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram. Buckets
+// are upper bounds in ascending order; an implicit +Inf bucket is
+// always appended. Nil buckets default to DurationBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m := r.register(name, func() metric {
+		if buckets == nil {
+			buckets = DurationBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+			}
+		}
+		return &Histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+	}
+	return h
+}
+
+// CounterVec registers (or fetches) a family of counters keyed by one
+// label. Resolve children once with With and keep the pointer: the
+// child operations are then lock-free.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	m := r.register(name, func() metric {
+		return &CounterVec{name: name, help: help, label: label, kids: make(map[string]*Counter)}
+	})
+	v, ok := m.(*CounterVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+	}
+	return v
+}
+
+// GaugeVec registers (or fetches) a family of gauges keyed by one label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	m := r.register(name, func() metric {
+		return &GaugeVec{name: name, help: help, label: label, kids: make(map[string]*Gauge)}
+	})
+	v, ok := m.(*GaugeVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+	}
+	return v
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), sorted by metric name so the
+// output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	ms := make([]metric, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		ms = append(ms, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, m := range ms {
+		name, help, typ := m.meta()
+		if help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+		m.write(bw)
+	}
+	return bw.Flush()
+}
+
+// A Counter is a monotonically increasing uint64.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) meta() (string, string, string) { return c.name, c.help, "counter" }
+
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+}
+
+// A Gauge is a float64 that can go up and down.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (atomically, via CAS).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) meta() (string, string, string) { return g.name, g.help, "gauge" }
+
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value()))
+}
+
+// A Histogram counts observations into fixed buckets. Observe is
+// lock-free and allocation-free.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count      atomic.Uint64
+	sumBits    atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) meta() (string, string, string) { return h.name, h.help, "histogram" }
+
+func (h *Histogram) write(w io.Writer) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+}
+
+// A CounterVec is a family of counters keyed by one label.
+type CounterVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	kids              map[string]*Counter
+}
+
+// With returns the child counter for the label value, creating it on
+// first use. Resolve once and keep the pointer on hot paths.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.kids[value]
+	if c == nil {
+		c = &Counter{}
+		v.kids[value] = c
+	}
+	return c
+}
+
+func (v *CounterVec) meta() (string, string, string) { return v.name, v.help, "counter" }
+
+func (v *CounterVec) write(w io.Writer) {
+	for _, value := range v.sortedValues() {
+		v.mu.Lock()
+		c := v.kids[value]
+		v.mu.Unlock()
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", v.name, v.label, escapeLabel(value), c.v.Load())
+	}
+}
+
+func (v *CounterVec) sortedValues() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	values := make([]string, 0, len(v.kids))
+	for val := range v.kids {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	return values
+}
+
+// A GaugeVec is a family of gauges keyed by one label.
+type GaugeVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	kids              map[string]*Gauge
+}
+
+// With returns the child gauge for the label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g := v.kids[value]
+	if g == nil {
+		g = &Gauge{}
+		v.kids[value] = g
+	}
+	return g
+}
+
+func (v *GaugeVec) meta() (string, string, string) { return v.name, v.help, "gauge" }
+
+func (v *GaugeVec) write(w io.Writer) {
+	v.mu.Lock()
+	values := make([]string, 0, len(v.kids))
+	for val := range v.kids {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	kids := make([]*Gauge, len(values))
+	for i, val := range values {
+		kids[i] = v.kids[val]
+	}
+	v.mu.Unlock()
+	for i, value := range values {
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", v.name, v.label, escapeLabel(value), formatFloat(kids[i].Value()))
+	}
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest representation that round-trips, integers without a point.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// counter incs, gauge sets/adds, histogram observes, vec lookups —
+// while a reader exports concurrently, then asserts the final export
+// carries exactly the expected totals. Run under -race in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_level", "level")
+	h := r.Histogram("test_lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	vec := r.CounterVec("test_cells_total", "cells", "state")
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hit := vec.With("hit")
+			sim := vec.With("sim")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%3) * 0.05) // 0, 0.05, 0.1
+				if i%2 == 0 {
+					hit.Inc()
+				} else {
+					sim.Inc()
+				}
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := uint64(workers * per)
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != float64(total) {
+		t.Errorf("gauge = %g, want %d", g.Value(), total)
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	if vec.With("hit").Value()+vec.With("sim").Value() != total {
+		t.Errorf("vec hit+sim = %d, want %d", vec.With("hit").Value()+vec.With("sim").Value(), total)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		fmt.Sprintf("test_ops_total %d\n", total),
+		fmt.Sprintf("test_cells_total{state=\"hit\"} %d\n", vec.With("hit").Value()),
+		fmt.Sprintf("test_lat_seconds_count %d\n", total),
+		"# TYPE test_lat_seconds histogram\n",
+		"# TYPE test_level gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBuckets pins cumulative bucket semantics: a value
+// lands in the first bucket whose bound is >= it, counts accumulate
+// upward, and the implicit +Inf bucket catches overflow.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.0, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`b_seconds_bucket{le="1"} 2`,    // 0.5, 1.0
+		`b_seconds_bucket{le="2"} 3`,    // +1.5
+		`b_seconds_bucket{le="4"} 4`,    // +3
+		`b_seconds_bucket{le="+Inf"} 5`, // +100
+		`b_seconds_sum 106`,
+		`b_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryReregistration: fetching an existing name returns the
+// same metric; a kind clash panics (programmer error, caught early).
+func TestRegistryReregistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("again_total", "")
+	if b := r.Counter("again_total", ""); a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("again_total", "")
+}
+
+// TestExportDeterministicOrder: metrics export sorted by name, label
+// values sorted within a vec.
+func TestExportDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "").Inc()
+	r.Counter("aa_total", "").Inc()
+	v := r.CounterVec("mm_total", "", "k")
+	v.With("b").Inc()
+	v.With("a").Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if strings.Index(out, "aa_total") > strings.Index(out, "zz_total") {
+		t.Errorf("metrics not name-sorted:\n%s", out)
+	}
+	if strings.Index(out, `mm_total{k="a"}`) > strings.Index(out, `mm_total{k="b"}`) {
+		t.Errorf("vec labels not sorted:\n%s", out)
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes and newlines in label values
+// must not corrupt the exposition format.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "", "k").With("a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	want := `esc_total{k="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaping drifted: want %s in:\n%s", want, buf.String())
+	}
+}

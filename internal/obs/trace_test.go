@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestTraceSchemaValid builds a trace with overlapping slices and
+// validates the output against the trace-event schema: a top-level
+// traceEvents array, every slice a "ph":"X" event with name/ts/dur/
+// pid/tid, metadata as "ph":"M" process_name events, and no two
+// overlapping slices sharing a (pid, tid) lane.
+func TestTraceSchemaValid(t *testing.T) {
+	tr := NewTrace()
+	tr.ProcessName(0, "shard 0")
+	tr.ProcessName(1, "shard 1")
+	tr.ProcessName(1, "ignored rename")
+	tr.Slice(0, "cell 0", 0, 100, map[string]any{"workload": "stream"})
+	tr.Slice(0, "cell 1", 50, 100, nil) // overlaps cell 0 -> new lane
+	tr.Slice(0, "cell 2", 100, 50, nil) // fits lane 0 again
+	tr.Slice(1, "cell 3", 10, 0, nil)   // zero-width (store hit)
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			PID  *int           `json:"pid"`
+			TID  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+
+	type lane struct{ pid, tid int }
+	type span struct{ start, end int64 }
+	busy := map[lane][]span{}
+	slices, metas := 0, 0
+	names := map[string]bool{}
+	for i, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metas++
+			if e.Name != "process_name" || e.Args["name"] == "" {
+				t.Errorf("event %d: bad metadata %+v", i, e)
+			}
+		case "X":
+			slices++
+			if e.Name == "" || e.TS == nil || e.Dur == nil || e.PID == nil || e.TID == nil {
+				t.Fatalf("event %d: slice missing required fields: %+v", i, e)
+			}
+			if *e.TS < 0 || *e.Dur < 0 {
+				t.Errorf("event %d: negative ts/dur", i)
+			}
+			l := lane{*e.PID, *e.TID}
+			s := span{*e.TS, *e.TS + *e.Dur}
+			for _, o := range busy[l] {
+				if s.start < o.end && o.start < s.end {
+					t.Errorf("slices overlap in lane %+v: %+v vs %+v", l, s, o)
+				}
+			}
+			busy[l] = append(busy[l], s)
+			names[e.Name] = true
+		default:
+			t.Errorf("event %d: unexpected ph %q", i, e.Ph)
+		}
+	}
+	if slices != 4 || tr.Len() != 4 {
+		t.Errorf("slices = %d (Len %d), want 4", slices, tr.Len())
+	}
+	if metas != 2 {
+		t.Errorf("metadata events = %d, want 2 (rename must be ignored)", metas)
+	}
+	if f.TraceEvents[0].Args["name"] == "ignored rename" {
+		t.Error("process rename overrode the first name")
+	}
+	if !names["cell 3"] {
+		t.Error("zero-width slice was dropped — counts must include store hits")
+	}
+}
+
+// TestTraceConcurrent exercises the lane allocator under concurrent
+// Slice calls (run with -race in CI).
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Slice(w%3, "c", int64(i*10), 25, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 8*200 {
+		t.Fatalf("lost slices: %d != %d", tr.Len(), 8*200)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent trace output is not valid JSON")
+	}
+}

@@ -17,8 +17,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"paradet/internal/campaign"
+	"paradet/internal/obs"
 	"paradet/internal/resultstore"
 )
 
@@ -59,6 +61,11 @@ type Options struct {
 	// Progress, when non-nil, observes the live aggregate after every
 	// decoded worker event.
 	Progress func(Snapshot)
+	// OnEvent, when non-nil, receives every decoded shard worker event
+	// raw, before aggregation — the seam pdsweep's Chrome-trace
+	// exporter hangs off. Calls are serialized (delivery order matches
+	// aggregation order) and must return quickly.
+	OnEvent func(shard int, e Event)
 	// Stdout receives the assembly pass's stdout — the sweep's final
 	// output (nil = discard).
 	Stdout io.Writer
@@ -67,24 +74,39 @@ type Options struct {
 	Stderr io.Writer
 }
 
-// ShardProgress is one worker's latest decoded counters.
+// ShardProgress is one worker's latest decoded counters. The JSON
+// names back the -debug-addr /progress snapshot.
 type ShardProgress struct {
 	// Done, Total, Hits and Sims mirror the worker's last Event.
-	Done, Total, Hits, Sims int
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	Hits  int `json:"hits"`
+	Sims  int `json:"sims"`
+	// EtaMS is the worker's own remaining-time estimate (0 once done,
+	// or from workers predating protocol revision 2).
+	EtaMS int64 `json:"eta_ms,omitempty"`
 	// Seen marks shards that have reported at least one event.
-	Seen bool
+	Seen bool `json:"seen"`
 }
 
-// Snapshot is the live aggregate over every shard, for tickers.
+// Snapshot is the live aggregate over every shard, for tickers and
+// the /progress endpoint.
 type Snapshot struct {
 	// Done/Total/Hits/Sims sum the latest per-shard counters.
-	Done, Total, Hits, Sims int
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	Hits  int `json:"hits"`
+	Sims  int `json:"sims"`
+	// EtaMS estimates the sweep's remaining wall time: the maximum of
+	// the unfinished shards' own estimates, since the sweep ends when
+	// its slowest shard does (0 until a revision-2 worker reports).
+	EtaMS int64 `json:"eta_ms,omitempty"`
 	// Shards holds the per-shard detail, indexed by shard.
-	Shards []ShardProgress
+	Shards []ShardProgress `json:"shards"`
 	// Slowest is the index of the unfinished shard with the lowest
 	// completion fraction, counting shards that have not reported yet
 	// as zero progress (-1 once every shard has finished).
-	Slowest int
+	Slowest int `json:"slowest"`
 }
 
 // ShardReport is one shard's final accounting.
@@ -163,7 +185,7 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	}
 
 	rep := &Report{Shards: make([]ShardReport, o.Shards)}
-	agg := &aggregator{shards: make([]ShardProgress, o.Shards), progress: o.Progress}
+	agg := &aggregator{shards: make([]ShardProgress, o.Shards), progress: o.Progress, onEvent: o.OnEvent}
 
 	// Launch every shard worker concurrently. The first shard to
 	// exhaust its retries cancels the rest: their stores keep whatever
@@ -231,7 +253,16 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		}
 		srcs = append(srcs, src)
 	}
+	mergeStart := time.Now()
 	rep.Merge, err = resultstore.Merge(dst, srcs...)
+	if obs.Enabled() {
+		ent := obs.Entry{Event: "merge", Count: rep.Merge.Indexed, DurMS: time.Since(mergeStart).Milliseconds(),
+			Detail: fmt.Sprintf("%d source(s), %d copied, %d dup", rep.Merge.Sources, rep.Merge.Copied, rep.Merge.Dups)}
+		if err != nil {
+			ent.Err = err.Error()
+		}
+		obs.Emit(ent)
+	}
 	for _, w := range rep.Merge.Warnings {
 		fmt.Fprintln(stderr, "orchestrator: merge warning:", w)
 	}
@@ -268,11 +299,29 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	var last Event
 	sawEvent := false
 	dec := &Decoder{
-		OnEvent: func(e Event) { last, sawEvent = e, true },
-		OnLine:  func(s string) { fmt.Fprintln(stderr, s) },
+		OnEvent: func(e Event) {
+			last, sawEvent = e, true
+			if obs.Enabled() {
+				obs.Emit(obs.Entry{Event: "cell_done", Phase: "assemble", Cell: obs.Int(e.Cell),
+					Workload: e.Workload, Point: e.Point, Scheme: e.Scheme, Hit: e.Hit, Err: e.Err})
+			}
+		},
+		OnLine: func(s string) { fmt.Fprintln(stderr, s) },
 	}
+	if obs.Enabled() {
+		obs.Emit(obs.Entry{Event: "assemble_start", Detail: assembler.Name()})
+	}
+	asmStart := time.Now()
 	err = assembler.Run(ctx, argv, stdout, dec)
 	dec.Close()
+	if obs.Enabled() {
+		ent := obs.Entry{Event: "assemble_done", Detail: assembler.Name(),
+			Count: last.Done, DurMS: time.Since(asmStart).Milliseconds()}
+		if err != nil {
+			ent.Err = err.Error()
+		}
+		obs.Emit(ent)
+	}
 	if err != nil {
 		return rep, fmt.Errorf("orchestrator: assembly (%s): %w", assembler.Name(), err)
 	}
@@ -315,12 +364,22 @@ func (o *Options) runShard(ctx context.Context, i int, strategy campaign.Strateg
 	tail := &tailBuffer{max: o.tailBytes()}
 	for attempt := 1; ; attempt++ {
 		rep.Attempts = attempt
+		if obs.Enabled() {
+			obs.Emit(obs.Entry{Event: "shard_launch", Shard: obs.Int(i), Count: attempt, Detail: runner.Name()})
+		}
 		dec := &Decoder{
 			OnEvent: func(e Event) { agg.observe(i, e) },
 			OnLine:  tail.add,
 		}
 		err := runner.Run(ctx, argv, io.Discard, dec)
 		dec.Close()
+		if obs.Enabled() {
+			ent := obs.Entry{Event: "shard_exit", Shard: obs.Int(i), Count: attempt, Detail: runner.Name()}
+			if err != nil {
+				ent.Err = err.Error()
+			}
+			obs.Emit(ent)
+		}
 		if err == nil {
 			return rep
 		}
@@ -333,6 +392,10 @@ func (o *Options) runShard(ctx context.Context, i int, strategy campaign.Strateg
 			rep.Tail = tail.String()
 			return rep
 		}
+		obsRetries.Inc()
+		if obs.Enabled() {
+			obs.Emit(obs.Entry{Event: "shard_retry", Shard: obs.Int(i), Count: attempt, Detail: runner.Name(), Err: err.Error()})
+		}
 		fmt.Fprintf(stderr, "orchestrator: shard %d (%s) attempt %d failed (%v); relaunching (store resumes)\n",
 			i, runner.Name(), attempt, err)
 	}
@@ -343,12 +406,25 @@ type aggregator struct {
 	mu       sync.Mutex
 	shards   []ShardProgress
 	progress func(Snapshot)
+	onEvent  func(shard int, e Event)
 }
 
 func (a *aggregator) observe(i int, e Event) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.shards[i] = ShardProgress{Done: e.Done, Total: e.Total, Hits: e.Hits, Sims: e.Sims, Seen: true}
+	a.shards[i] = ShardProgress{Done: e.Done, Total: e.Total, Hits: e.Hits, Sims: e.Sims, EtaMS: e.EtaMS, Seen: true}
+	obsShardDone.With(shardLabel(i)).Set(float64(e.Done))
+	obsShardTotal.With(shardLabel(i)).Set(float64(e.Total))
+	if e.ElapsedMS > 0 {
+		obsShardRate.With(shardLabel(i)).Set(float64(e.Done) / (float64(e.ElapsedMS) / 1000))
+	}
+	if obs.Enabled() {
+		obs.Emit(obs.Entry{Event: "cell_done", Phase: "shard", Shard: obs.Int(i), Cell: obs.Int(e.Cell),
+			Workload: e.Workload, Point: e.Point, Scheme: e.Scheme, Hit: e.Hit, DurMS: e.SimMS, Err: e.Err})
+	}
+	if a.onEvent != nil {
+		a.onEvent(i, e)
+	}
 	// The callback runs under the mutex so snapshots are delivered in
 	// order — without it two decoder goroutines could swap deliveries
 	// and the ticker would show the count regressing.
@@ -380,9 +456,13 @@ func (a *aggregator) snapshotLocked() Snapshot {
 			}
 			frac = float64(s.Done) / float64(s.Total)
 		}
+		if s.EtaMS > snap.EtaMS {
+			snap.EtaMS = s.EtaMS
+		}
 		if snap.Slowest == -1 || frac < worst {
 			worst, snap.Slowest = frac, i
 		}
 	}
+	obsSlowest.Set(float64(snap.Slowest))
 	return snap
 }

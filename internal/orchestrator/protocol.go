@@ -48,6 +48,15 @@ type Event struct {
 	Scheme   string `json:"scheme"`
 	// ElapsedMS is wall time since the worker started.
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// SimMS is the finished cell's own simulation latency in
+	// milliseconds (omitted for store-served cells, which cost no
+	// simulation time). Added by protocol revision 2; absent on lines
+	// from older workers, which version-1 decoders ignore by design.
+	SimMS int64 `json:"sim_ms,omitempty"`
+	// EtaMS estimates the worker's remaining wall time from its own
+	// observed cell rate (omitted until one cell has finished and after
+	// the last). Added by protocol revision 2.
+	EtaMS int64 `json:"eta_ms,omitempty"`
 	// Err is the cell's failure, if any.
 	Err string `json:"err,omitempty"`
 }
@@ -104,6 +113,15 @@ func (e *emitter) observe(p campaign.Progress) {
 		Point:     p.Label,
 		Scheme:    string(p.Scheme),
 		ElapsedMS: time.Since(e.start).Milliseconds(),
+	}
+	if !p.Cached {
+		evt.SimMS = p.Elapsed.Milliseconds()
+	}
+	// The ETA extrapolates the worker's observed rate over its
+	// remaining cells; it goes silent at the boundaries where the rate
+	// is undefined (no cells yet) or moot (all done).
+	if evt.Done > 0 && evt.Done < evt.Total {
+		evt.EtaMS = evt.ElapsedMS * int64(evt.Total-evt.Done) / int64(evt.Done)
 	}
 	if p.Err != nil {
 		evt.Err = p.Err.Error()

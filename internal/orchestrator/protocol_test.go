@@ -45,6 +45,57 @@ func TestEventGoldenLine(t *testing.T) {
 	if !strings.HasSuffix(string(withErr), `"elapsed_ms":0,"err":"boom"}`) {
 		t.Errorf("err field encoding drifted: %s", withErr)
 	}
+
+	// Protocol revision 2 added sim_ms and eta_ms. They slot between
+	// elapsed_ms and err, and vanish when zero — the first golden above
+	// proves revision-1 lines are still emitted byte-identically.
+	v2, err := json.Marshal(Event{
+		V: 1, Shard: 2, Shards: 3, Cell: 7, Done: 4, Total: 9,
+		Hits: 3, Sims: 1, Workload: "stream", Point: "tableI", Scheme: "protected",
+		ElapsedMS: 1500, SimMS: 320, EtaMS: 1875,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := `{"v":1,"shard":2,"shards":3,"cell":7,"done":4,"total":9,"hit":false,` +
+		`"hits":3,"sims":1,"workload":"stream","point":"tableI","scheme":"protected",` +
+		`"elapsed_ms":1500,"sim_ms":320,"eta_ms":1875}`
+	if string(v2) != want2 {
+		t.Errorf("revision-2 line schema drifted:\n got %s\nwant %s", v2, want2)
+	}
+}
+
+// TestEmitterSimAndEta pins the emitter-side semantics of the
+// revision-2 fields: sim_ms carries the cell's own latency only for
+// simulated cells, and eta_ms extrapolates the worker's rate over its
+// remaining cells, going silent at both boundaries.
+func TestEmitterSimAndEta(t *testing.T) {
+	var buf bytes.Buffer
+	emit := Emitter(&buf, nil, time.Now().Add(-2*time.Second)) // 2s elapsed
+	emit(campaign.Progress{Done: 1, Total: 4, CellSims: 1, Elapsed: 320 * time.Millisecond})
+	emit(campaign.Progress{Done: 2, Total: 4, CellSims: 1, CellHits: 1, Cached: true, Elapsed: 5 * time.Millisecond})
+	emit(campaign.Progress{Done: 4, Total: 4, CellSims: 3, CellHits: 1, Elapsed: 100 * time.Millisecond})
+
+	var events []Event
+	dec := &Decoder{OnEvent: func(e Event) { events = append(events, e) }}
+	dec.Write(buf.Bytes())
+	if len(events) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(events))
+	}
+	if e := events[0]; e.SimMS != 320 {
+		t.Errorf("simulated cell sim_ms = %d, want 320", e.SimMS)
+	}
+	// eta ≈ elapsed * remaining/done = ~2000ms * 3/1; the emitter uses
+	// its own clock so allow slack.
+	if e := events[0]; e.EtaMS < 5000 || e.EtaMS > 7000 {
+		t.Errorf("eta_ms = %d, want ~6000", e.EtaMS)
+	}
+	if e := events[1]; e.SimMS != 0 {
+		t.Errorf("store-served cell sim_ms = %d, want 0 (omitted)", e.SimMS)
+	}
+	if e := events[2]; e.EtaMS != 0 {
+		t.Errorf("final event eta_ms = %d, want 0 (omitted)", e.EtaMS)
+	}
 }
 
 // TestEmitterAccumulatesAcrossSweeps drives the emitter with two

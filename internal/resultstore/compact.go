@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"paradet/internal/obs"
 )
 
 // CompactOptions tune one compaction pass.
@@ -75,6 +77,7 @@ func (st CompactStats) String() string {
 // same accounting while guaranteeing the store is not modified in any
 // way.
 func (s *Store) Compact(opts CompactOptions) (CompactStats, error) {
+	start := time.Now()
 	var st CompactStats
 	files, err := s.cellFiles()
 	if err != nil {
@@ -154,5 +157,15 @@ func (s *Store) Compact(opts CompactOptions) (CompactStats, error) {
 		}
 	}
 	st.Indexed, err = s.RebuildIndex()
+	elapsed := time.Since(start)
+	obsCompactSecs.Observe(elapsed.Seconds())
+	obsCompactCells.Add(uint64(st.Packed))
+	if obs.Enabled() {
+		ent := obs.Entry{Event: "compact", Count: st.Packed, DurMS: elapsed.Milliseconds(), Detail: filepath.Base(st.Segment)}
+		if err != nil {
+			ent.Err = err.Error()
+		}
+		obs.Emit(ent)
+	}
 	return st, err
 }

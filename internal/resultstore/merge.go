@@ -307,39 +307,56 @@ func (s *Store) GC(cutoff time.Time, dry bool) (GCStats, error) {
 	return st, nil
 }
 
-// SchemeFootprint is one scheme's share of a store.
+// SchemeFootprint is one scheme's share of a store. The JSON names
+// back pdstore stats -json and are pinned by a golden test: they only
+// ever grow (with omitempty), never change.
 type SchemeFootprint struct {
-	Scheme string
+	Scheme string `json:"scheme"`
 	// Cells and Bytes count the scheme's cell files and their size.
-	Cells int
-	Bytes int64
+	Cells int   `json:"cells"`
+	Bytes int64 `json:"bytes"`
 	// Faults counts the fault-injection cells among them.
-	Faults int
+	Faults int `json:"faults"`
 }
 
-// Footprint summarises a store's on-disk contents.
+// Footprint summarises a store's on-disk contents. JSON names as for
+// SchemeFootprint.
 type Footprint struct {
 	// Cells and Bytes total every readable cell across both layouts,
 	// deduplicated by fingerprint (a cell present loose and packed
 	// counts once).
-	Cells int
-	Bytes int64
+	Cells int   `json:"cells"`
+	Bytes int64 `json:"bytes"`
 	// LooseCells counts cells living as individual files.
-	LooseCells int
+	LooseCells int `json:"loose_cells"`
 	// Corrupt counts unreadable cell files.
-	Corrupt int
+	Corrupt int `json:"corrupt"`
 	// Segments counts packed segment files; SegmentCells the records
 	// inside them (net of loose shadows); SegmentBytes their file size.
-	Segments     int
-	SegmentCells int
-	SegmentBytes int64
+	Segments     int   `json:"segments"`
+	SegmentCells int   `json:"segment_cells"`
+	SegmentBytes int64 `json:"segment_bytes"`
 	// BrokenSegments counts structurally damaged segment files (run
 	// verify for detail).
-	BrokenSegments int
+	BrokenSegments int `json:"broken_segments"`
 	// IndexEntries is the advisory index's line count (may lag Cells).
-	IndexEntries int
+	IndexEntries int `json:"index_entries"`
 	// Schemes breaks the totals down per scheme, sorted by name.
-	Schemes []SchemeFootprint
+	Schemes []SchemeFootprint `json:"schemes"`
+}
+
+// StatsSchemaVersion versions the pdstore stats -json document. Bump
+// only for breaking shape changes; additive growth keeps it.
+const StatsSchemaVersion = 1
+
+// StatsReport is the machine-readable form of pdstore stats: the
+// store's footprint plus the document schema version and the store
+// directory it describes. The embedded Footprint flattens, so the
+// top-level keys are stats_schema, dir, cells, bytes, ….
+type StatsReport struct {
+	Schema int    `json:"stats_schema"`
+	Dir    string `json:"dir"`
+	Footprint
 }
 
 // Footprint scans the loose cell tree and the packed segments and

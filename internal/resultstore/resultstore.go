@@ -31,6 +31,7 @@ import (
 	"unicode/utf8"
 
 	"paradet"
+	"paradet/internal/obs"
 )
 
 // SchemaVersion is the engine schema version baked into every
@@ -268,12 +269,29 @@ func (s *Store) Get(k Key) (*Cell, bool) {
 	if data, err := os.ReadFile(s.cellPath(fp)); err == nil {
 		var c Cell
 		if json.Unmarshal(data, &c) == nil && c.Schema == SchemaVersion && c.Fingerprint == fp {
+			obsReadLoose.Inc()
+			if obs.Enabled() {
+				obs.Emit(obs.Entry{Event: "store_hit", Workload: k.Workload, Scheme: k.Scheme, Hit: true, Detail: "loose"})
+			}
 			return &c, true
 		}
 		// A damaged loose cell still falls through: its packed twin (if
 		// any) is independently checksummed.
 	}
-	return s.segGet(fp)
+	c, ok := s.segGet(fp)
+	if ok {
+		obsReadSegment.Inc()
+	} else {
+		obsReadMiss.Inc()
+	}
+	if obs.Enabled() {
+		if ok {
+			obs.Emit(obs.Entry{Event: "store_hit", Workload: k.Workload, Scheme: k.Scheme, Hit: true, Detail: "segment"})
+		} else {
+			obs.Emit(obs.Entry{Event: "store_miss", Workload: k.Workload, Scheme: k.Scheme})
+		}
+	}
+	return c, ok
 }
 
 // Put stores a cell under its key, filling the schema and fingerprint
@@ -281,6 +299,7 @@ func (s *Store) Get(k Key) (*Cell, bool) {
 // directory and renamed into place, so readers in other processes only
 // ever observe complete cells.
 func (s *Store) Put(k Key, c *Cell) error {
+	start := time.Now()
 	c.Schema = SchemaVersion
 	c.Fingerprint = k.Fingerprint()
 	c.Workload = k.Workload
@@ -301,6 +320,12 @@ func (s *Store) Put(k Key, c *Cell) error {
 		Scheme:      c.Scheme,
 		Created:     time.Now().UTC().Format(time.RFC3339),
 	})
+	elapsed := time.Since(start)
+	obsWrites.Inc()
+	obsWriteSecs.Observe(elapsed.Seconds())
+	if obs.Enabled() {
+		obs.Emit(obs.Entry{Event: "store_write", Workload: k.Workload, Scheme: k.Scheme, DurMS: elapsed.Milliseconds()})
+	}
 	return nil
 }
 
