@@ -12,7 +12,18 @@
 //	pdsweep -n 3 -compact -store-root /tmp/sweep go run ./cmd/experiments -run fig7
 //	pdsweep -n 4 -retries 2 -store-root /tmp/sweep ./experiments -run fig9
 //	pdsweep -n 2 -ssh hosta,hostb -store-root /shared/sweep ./experiments -run fig7
+//	pdsweep -n 6 -hosts local,local,ssh:hostb -store-root /shared/sweep ./experiments -run fig7
+//	pdsweep -n 4 -hosts local,local,local,local -dry-run ./experiments -run fig7
 //	pdsweep -n 3 go run ./cmd/hetsim -workload bitcount -fault-targets all
+//
+// -hosts turns the static shard-to-runner assignment into an elastic
+// pool: hosts are health-checked before every lease, a dead host is
+// quarantined and its shard moves to another host (the shard store
+// makes that a resume), and an idle host steals — runs a duplicate
+// attempt of the slowest shard against its own store (shard3.b, …);
+// the first attempt to finish wins, the loser is cancelled, and the
+// merge folds every non-empty attempt store with fingerprint dedupe,
+// so assembly stays byte-identical to a single-host run.
 //
 // Everything after the flags is the campaign command. pdsweep appends
 // -shard i/n, -shard-strategy, -store DIR and -progress-json for each
@@ -51,8 +62,12 @@ import (
 func main() {
 	n := flag.Int("n", 2, "number of shard workers to split the sweep across")
 	retries := flag.Int("retries", 1, "relaunches allowed per shard before the sweep fails")
-	storeRoot := flag.String("store-root", "", "directory for shard and merged stores (default: temp dir, removed on success); reuse it to resume an interrupted sweep; with -ssh it must be on a shared filesystem")
-	sshHosts := flag.String("ssh", "", "comma-separated ssh hosts to run shard workers on, assigned round-robin (default: local subprocesses)")
+	storeRoot := flag.String("store-root", "", "directory for shard and merged stores (default: temp dir, removed on success); reuse it to resume an interrupted sweep; with -ssh or ssh: hosts it must be on a shared filesystem")
+	sshHosts := flag.String("ssh", "", "comma-separated ssh hosts to run shard workers on, statically assigned round-robin (default: local subprocesses); see -hosts for the elastic pool")
+	hostsArg := flag.String("hosts", "", "comma-separated elastic pool hosts ('local' or 'ssh:HOST'; a bare word is an ssh host): shards lease health-checked hosts, dead hosts are quarantined and their shards move, idle hosts steal the slowest shard")
+	steal := flag.Bool("steal", true, "with -hosts, let idle hosts run duplicate attempts of the slowest shard (first finish wins; the merge dedupes)")
+	healthTimeout := flag.Duration("health-timeout", 5*time.Second, "with -hosts, per-probe liveness timeout (a host failing its probes is quarantined)")
+	dryRun := flag.Bool("dry-run", false, "print the planned shard-to-host assignment and store layout, then exit without launching anything")
 	strategyArg := flag.String("shard-strategy", string(campaign.StrategyWeighted), "cell assignment: weighted (balance summed instruction samples) or round-robin")
 	compact := flag.Bool("compact", false, "pack the merged store into a segment file before assembly (keep -store-root to reuse the packed store)")
 	tick := flag.Duration("tick", time.Second, "minimum interval between progress lines on stderr")
@@ -71,6 +86,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *hostsArg != "" && *sshHosts != "" {
+		fail(fmt.Errorf("-hosts (elastic pool) and -ssh (static assignment) are mutually exclusive"))
+	}
+	pool, sshInPool, err := parseHosts(*hostsArg, *steal, *healthTimeout, *n)
+	if err != nil {
+		fail(err)
+	}
 
 	root := *storeRoot
 	cleanup := false
@@ -78,24 +100,31 @@ func main() {
 		// A local temp root cannot serve ssh workers: they would write
 		// shard stores on their own hosts while the merge reads empty
 		// local directories, discarding every remote cell.
-		if *sshHosts != "" {
-			fail(fmt.Errorf("-ssh needs an explicit -store-root on a filesystem shared with the hosts"))
+		if *sshHosts != "" || sshInPool {
+			fail(fmt.Errorf("ssh hosts need an explicit -store-root on a filesystem shared with the hosts"))
 		}
-		root, err = os.MkdirTemp("", "pdsweep-")
-		if err != nil {
-			fail(err)
+		if *dryRun {
+			root = "<temp dir>" // the plan never creates it
+		} else {
+			root, err = os.MkdirTemp("", "pdsweep-")
+			if err != nil {
+				fail(err)
+			}
+			cleanup = true
 		}
-		cleanup = true
 	}
 
 	var runners []orchestrator.Runner
-	if *sshHosts != "" {
+	switch {
+	case pool != nil:
+		// The pool owns host assignment; runners stay nil.
+	case *sshHosts != "":
 		for _, h := range strings.Split(*sshHosts, ",") {
 			if h = strings.TrimSpace(h); h != "" {
 				runners = append(runners, orchestrator.SSH{Host: h})
 			}
 		}
-	} else {
+	default:
 		// N local workers would each default to a GOMAXPROCS-wide
 		// simulation pool and oversubscribe the machine; give each an
 		// even share instead. (The assembly pass runs uncapped — it is
@@ -105,6 +134,18 @@ func main() {
 			share = 1
 		}
 		runners = append(runners, orchestrator.Local{Env: []string{fmt.Sprintf("GOMAXPROCS=%d", share)}})
+	}
+
+	if *dryRun {
+		plan, err := orchestrator.Plan(orchestrator.Options{
+			Argv: argv, Shards: *n, Runners: runners, Pool: pool,
+			StoreRoot: root, Strategy: strategy, Retries: *retries,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(plan)
+		return
 	}
 
 	// Live aggregate ticker: one line per -tick, plus milestones the
@@ -127,6 +168,12 @@ func main() {
 		}
 		if s.Slowest >= 0 {
 			line += fmt.Sprintf(" · shard %d slowest", s.Slowest)
+		}
+		if s.Steals > 0 {
+			line += fmt.Sprintf(" · steals %d", s.Steals)
+		}
+		if s.Quarantined > 0 {
+			line += fmt.Sprintf(" · quarantined %d", s.Quarantined)
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
@@ -175,6 +222,7 @@ func main() {
 		Argv:      argv,
 		Shards:    *n,
 		Runners:   runners,
+		Pool:      pool,
 		StoreRoot: root,
 		Strategy:  strategy,
 		Retries:   *retries,
@@ -203,13 +251,69 @@ func main() {
 	if rep.Compact != nil {
 		compacted = fmt.Sprintf(" · compacted %d cell(s)", rep.Compact.Packed)
 	}
-	fmt.Fprintf(os.Stderr, "pdsweep: %d shard(s) ok, %d retr%s · %s · assembled cells=%d hits=%d misses=%d%s · %.1fs\n",
-		*n, rep.Retried(), plural(rep.Retried(), "y", "ies"), rep.Merge, rep.Cells, rep.Hits, rep.Sims, compacted,
+	poolNote := ""
+	if p := rep.Pool; p != nil {
+		poolNote = fmt.Sprintf(" · pool hosts=%d leases=%d steals=%d stolen-wins=%d relaunches=%d quarantined=%d",
+			len(p.Hosts), p.Leases, p.Steals, p.StolenWins, p.Relaunches, p.Quarantined)
+	}
+	fmt.Fprintf(os.Stderr, "pdsweep: %d shard(s) ok, %d retr%s · %s · assembled cells=%d hits=%d misses=%d%s%s · %.1fs\n",
+		*n, rep.Retried(), plural(rep.Retried(), "y", "ies"), rep.Merge, rep.Cells, rep.Hits, rep.Sims, compacted, poolNote,
 		time.Since(start).Seconds())
 	onExit()
 	if cleanup {
 		os.RemoveAll(root)
 	}
+}
+
+// parseHosts builds the elastic pool from -hosts. Entries are "local"
+// (a subprocess worker) or "ssh:HOST"; a bare word is also an ssh
+// host. Local hosts split the machine's cores evenly, like the static
+// local runner. The second return reports whether any host is remote
+// (which makes a shared -store-root mandatory).
+func parseHosts(spec string, steal bool, healthTimeout time.Duration, shards int) (*orchestrator.Pool, bool, error) {
+	if spec == "" {
+		return nil, false, nil
+	}
+	var entries []string
+	for _, h := range strings.Split(spec, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			entries = append(entries, h)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, false, fmt.Errorf("-hosts lists no hosts")
+	}
+	locals := 0
+	for _, e := range entries {
+		if e == "local" {
+			locals++
+		}
+	}
+	share := runtime.NumCPU()
+	if locals > 0 {
+		share = runtime.NumCPU() / locals
+		if share < 1 {
+			share = 1
+		}
+	}
+	pool := &orchestrator.Pool{Steal: steal, HealthTimeout: healthTimeout}
+	ssh := false
+	for i, e := range entries {
+		switch {
+		case e == "local":
+			pool.Hosts = append(pool.Hosts, orchestrator.Local{
+				Label: fmt.Sprintf("local%d", i),
+				Env:   []string{fmt.Sprintf("GOMAXPROCS=%d", share)},
+			})
+		case strings.HasPrefix(e, "ssh:"):
+			ssh = true
+			pool.Hosts = append(pool.Hosts, orchestrator.SSH{Host: strings.TrimPrefix(e, "ssh:")})
+		default:
+			ssh = true
+			pool.Hosts = append(pool.Hosts, orchestrator.SSH{Host: e})
+		}
+	}
+	return pool, ssh, nil
 }
 
 func plural(n int, one, many string) string {

@@ -20,6 +20,18 @@ var (
 		"Index of the unfinished shard with the lowest completion fraction (-1 when all are done).")
 	obsRetries = obs.Default().Counter("paradet_orch_shard_retries_total",
 		"Shard worker relaunches after a failure.")
+
+	// Elastic-pool metrics.
+	obsLeases = obs.Default().Counter("paradet_orch_pool_leases_total",
+		"Shard attempts started on pool hosts (primaries, relaunches and steals).")
+	obsSteals = obs.Default().Counter("paradet_orch_pool_steals_total",
+		"Duplicate attempts of the slowest shard launched on idle pool hosts.")
+	obsRelaunches = obs.Default().Counter("paradet_orch_pool_relaunches_total",
+		"Shards moved to another pool host after a worker failure.")
+	obsQuarantines = obs.Default().Counter("paradet_orch_pool_quarantines_total",
+		"Pool hosts removed after failed health probes.")
+	obsHealthyHosts = obs.Default().Gauge("paradet_orch_pool_healthy_hosts",
+		"Pool hosts not quarantined.")
 )
 
 func shardLabel(i int) string { return strconv.Itoa(i) }

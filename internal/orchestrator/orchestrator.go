@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -36,6 +37,12 @@ type Options struct {
 	// Runners execute the workers; shard i runs on Runners[i mod len].
 	// Nil means one Local runner shared by every shard.
 	Runners []Runner
+	// Pool, when non-nil, replaces the static Runners assignment with
+	// elastic scheduling: health-checked host leases, relaunch of a
+	// dead host's shard on another host, and (optionally) duplicate
+	// attempts of the slowest shard on idle hosts. Mutually exclusive
+	// with Runners.
+	Pool *Pool
 	// Assembler runs the final merge-backed assembly pass (nil =
 	// Local; the merged store is always local to the orchestrator).
 	Assembler Runner
@@ -101,7 +108,15 @@ type Snapshot struct {
 	// the unfinished shards' own estimates, since the sweep ends when
 	// its slowest shard does (0 until a revision-2 worker reports).
 	EtaMS int64 `json:"eta_ms,omitempty"`
-	// Shards holds the per-shard detail, indexed by shard.
+	// Steals counts duplicate shard attempts launched on idle pool
+	// hosts; Quarantined counts hosts the health checker removed.
+	// Both stay 0 outside pool mode.
+	Steals      int `json:"steals,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	// Shards holds the per-shard detail, indexed by shard. With
+	// stealing active each entry reflects the shard's leading attempt
+	// (duplicates re-simulate the same cells; summing them would
+	// double-count the grid).
 	Shards []ShardProgress `json:"shards"`
 	// Slowest is the index of the unfinished shard with the lowest
 	// completion fraction, counting shards that have not reported yet
@@ -116,6 +131,10 @@ type ShardReport struct {
 	Runner string
 	// Attempts counts launches (1 = no retries needed).
 	Attempts int
+	// History details every launch — runner, attempt store, outcome —
+	// in completion order, so a failed sweep is debuggable from its
+	// logs alone. Populated by both the static and pool schedulers.
+	History []Attempt
 	// Done, Hits and Sims are the final decoded counters.
 	Done, Hits, Sims int
 	// Err is the terminal failure after the retry budget, if any.
@@ -133,13 +152,21 @@ type Report struct {
 	// Compact is the post-merge compaction accounting (nil unless
 	// Options.Compact was set).
 	Compact *resultstore.CompactStats
+	// Pool summarises the elastic scheduling (nil unless Options.Pool
+	// was set).
+	Pool *PoolReport
 	// Cells, Hits and Sims are the assembly pass's final counters;
 	// Sims is always 0 on success (the orchestrator fails otherwise).
 	Cells, Hits, Sims int
 }
 
-// Retried totals the extra launches across all shards.
+// Retried totals the extra launches that paid for failures: relaunches
+// under a pool (where Attempts also counts voluntary steal duplicates),
+// attempts beyond the first otherwise.
 func (r *Report) Retried() int {
+	if r.Pool != nil {
+		return r.Pool.Relaunches
+	}
 	n := 0
 	for i := range r.Shards {
 		if r.Shards[i].Attempts > 1 {
@@ -153,25 +180,9 @@ func (r *Report) Retried() int {
 // merge, assemble. It returns the report even alongside an error when
 // the failure happened after workers produced accountable state.
 func Run(ctx context.Context, o Options) (*Report, error) {
-	if len(o.Argv) == 0 {
-		return nil, fmt.Errorf("orchestrator: no campaign command")
-	}
-	if o.Shards < 1 {
-		return nil, fmt.Errorf("orchestrator: shards must be >= 1, got %d", o.Shards)
-	}
-	if o.StoreRoot == "" {
-		return nil, fmt.Errorf("orchestrator: no store root")
-	}
-	strategy, err := campaign.ParseStrategy(string(o.Strategy))
+	strategy, runners, err := o.resolve()
 	if err != nil {
-		return nil, fmt.Errorf("orchestrator: %w", err)
-	}
-	if o.Strategy == "" {
-		strategy = campaign.StrategyWeighted
-	}
-	runners := o.Runners
-	if len(runners) == 0 {
-		runners = []Runner{Local{}}
+		return nil, err
 	}
 	stdout, stderr := o.Stdout, o.Stderr
 	if stdout == nil {
@@ -185,25 +196,40 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	}
 
 	rep := &Report{Shards: make([]ShardReport, o.Shards)}
-	agg := &aggregator{shards: make([]ShardProgress, o.Shards), progress: o.Progress, onEvent: o.OnEvent}
+	agg := &aggregator{shards: make([]ShardProgress, o.Shards),
+		attempts: make([]map[int]ShardProgress, o.Shards), progress: o.Progress, onEvent: o.OnEvent}
 
-	// Launch every shard worker concurrently. The first shard to
+	// Launch the shard workers: elastically over the pool's leased
+	// hosts when one is configured, else every shard at once on its
+	// statically assigned runner. Either way the first shard to
 	// exhaust its retries cancels the rest: their stores keep whatever
 	// they finished, so a later pdsweep run resumes instead of redoing.
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var wg sync.WaitGroup
-	for i := 0; i < o.Shards; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			rep.Shards[i] = o.runShard(wctx, i, strategy, runners[i%len(runners)], agg, stderr)
-			if rep.Shards[i].Err != nil {
-				cancel()
-			}
-		}(i)
+	var poolErr error
+	if o.Pool != nil {
+		argvFor := func(shard, attempt int) []string {
+			return append(append([]string{}, o.Argv...),
+				"-shard", campaign.Shard{Index: shard, Count: o.Shards}.String(),
+				"-shard-strategy", string(strategy),
+				"-store", o.attemptStore(shard, attempt),
+				"-progress-json")
+		}
+		poolErr = o.Pool.run(wctx, &o, argvFor, agg, stderr, rep)
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < o.Shards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rep.Shards[i] = o.runShard(wctx, i, strategy, runners[i%len(runners)], agg, stderr)
+				if rep.Shards[i].Err != nil {
+					cancel()
+				}
+			}(i)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	for i := range rep.Shards {
 		s := agg.get(i)
 		rep.Shards[i].Done, rep.Shards[i].Hits, rep.Shards[i].Sims = s.Done, s.Hits, s.Sims
@@ -229,6 +255,11 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 			failures = append(failures, err)
 		}
 	}
+	// Pool-level failures (every host quarantined, scheduler stall)
+	// belong to no single shard; lead with them.
+	if poolErr != nil && !errors.Is(poolErr, context.Canceled) {
+		failures = append([]error{poolErr}, failures...)
+	}
 	if interrupted > 0 && len(failures) > 0 {
 		failures = append(failures, fmt.Errorf("%d other shard(s) interrupted; their stores resume the sweep", interrupted))
 	} else if interrupted > 0 {
@@ -252,6 +283,29 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 			return rep, fmt.Errorf("orchestrator: shard %d store: %w", i, err)
 		}
 		srcs = append(srcs, src)
+		// Fold in duplicate-attempt stores left by the steal policy —
+		// this run's, or a resumed earlier run's. A losing attempt is
+		// discarded only when its store is empty; one that holds cells
+		// is merged anyway (fingerprint dedupe makes overlap free, and
+		// a loser may hold cells the relaunched winner resumed past).
+		extras, _ := filepath.Glob(o.shardDir(i) + ".*")
+		sort.Strings(extras)
+		for _, dir := range extras {
+			src, err := resultstore.OpenExisting(dir)
+			if err != nil {
+				fmt.Fprintf(stderr, "orchestrator: ignoring attempt store %s: %v\n", dir, err)
+				continue
+			}
+			fp, err := src.Footprint()
+			if err != nil {
+				fmt.Fprintf(stderr, "orchestrator: ignoring attempt store %s: %v\n", dir, err)
+				continue
+			}
+			if fp.LooseCells+fp.SegmentCells == 0 {
+				continue // an empty loser buys the merge nothing
+			}
+			srcs = append(srcs, src)
+		}
 	}
 	mergeStart := time.Now()
 	rep.Merge, err = resultstore.Merge(dst, srcs...)
@@ -338,6 +392,40 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	return rep, nil
 }
 
+// resolve validates the options and fills the defaults Run (and Plan)
+// share: the strategy and the static runner set.
+func (o *Options) resolve() (campaign.Strategy, []Runner, error) {
+	if len(o.Argv) == 0 {
+		return "", nil, fmt.Errorf("orchestrator: no campaign command")
+	}
+	if o.Shards < 1 {
+		return "", nil, fmt.Errorf("orchestrator: shards must be >= 1, got %d", o.Shards)
+	}
+	if o.StoreRoot == "" {
+		return "", nil, fmt.Errorf("orchestrator: no store root")
+	}
+	if o.Pool != nil {
+		if len(o.Pool.Hosts) == 0 {
+			return "", nil, fmt.Errorf("orchestrator: pool has no hosts")
+		}
+		if len(o.Runners) > 0 {
+			return "", nil, fmt.Errorf("orchestrator: Pool and Runners are mutually exclusive")
+		}
+	}
+	strategy, err := campaign.ParseStrategy(string(o.Strategy))
+	if err != nil {
+		return "", nil, fmt.Errorf("orchestrator: %w", err)
+	}
+	if o.Strategy == "" {
+		strategy = campaign.StrategyWeighted
+	}
+	runners := o.Runners
+	if len(runners) == 0 {
+		runners = []Runner{Local{}}
+	}
+	return strategy, runners, nil
+}
+
 func (o *Options) shardDir(i int) string {
 	return filepath.Join(o.StoreRoot, fmt.Sprintf("shard%d", i))
 }
@@ -381,14 +469,19 @@ func (o *Options) runShard(ctx context.Context, i int, strategy campaign.Strateg
 			obs.Emit(ent)
 		}
 		if err == nil {
+			rep.History = append(rep.History, Attempt{N: attempt, Runner: runner.Name(), Store: storeBase(i, 0)})
 			return rep
 		}
+		rep.History = append(rep.History, Attempt{N: attempt, Runner: runner.Name(), Store: storeBase(i, 0), Err: err.Error()})
 		if ctx.Err() != nil {
 			rep.Err = fmt.Errorf("shard %d (%s): %w", i, runner.Name(), ctx.Err())
 			return rep
 		}
 		if attempt > o.Retries {
-			rep.Err = fmt.Errorf("shard %d (%s) failed after %d attempt(s): %w", i, runner.Name(), attempt, err)
+			// The history names every attempt's runner and error, so a
+			// pool or retry run is debuggable from CI logs alone.
+			rep.Err = fmt.Errorf("shard %d (%s) failed after %d attempt(s): %w\n%s",
+				i, runner.Name(), attempt, err, historyLines(rep.History))
 			rep.Tail = tail.String()
 			return rep
 		}
@@ -401,20 +494,45 @@ func (o *Options) runShard(ctx context.Context, i int, strategy campaign.Strateg
 	}
 }
 
-// aggregator folds per-shard events into the live Snapshot.
+// aggregator folds per-shard (and, under a pool, per-attempt) events
+// into the live Snapshot.
 type aggregator struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// shards holds each shard's leading attempt; attempts the raw
+	// per-attempt progress behind it (lazily allocated — the static
+	// scheduler only ever writes attempt 0).
 	shards   []ShardProgress
+	attempts []map[int]ShardProgress
+	steals   int
+	quar     int
+	kick     chan struct{}
 	progress func(Snapshot)
 	onEvent  func(shard int, e Event)
 }
 
-func (a *aggregator) observe(i int, e Event) {
+func (a *aggregator) observe(i int, e Event) { a.observeAttempt(i, 0, e) }
+
+func (a *aggregator) observeAttempt(i, attempt int, e Event) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.shards[i] = ShardProgress{Done: e.Done, Total: e.Total, Hits: e.Hits, Sims: e.Sims, EtaMS: e.EtaMS, Seen: true}
-	obsShardDone.With(shardLabel(i)).Set(float64(e.Done))
-	obsShardTotal.With(shardLabel(i)).Set(float64(e.Total))
+	p := ShardProgress{Done: e.Done, Total: e.Total, Hits: e.Hits, Sims: e.Sims, EtaMS: e.EtaMS, Seen: true}
+	if a.attempts[i] == nil {
+		a.attempts[i] = make(map[int]ShardProgress)
+	}
+	a.attempts[i][attempt] = p
+	// The shard speaks with its leading attempt's voice: duplicates
+	// re-simulate the same cells, so summing attempts would
+	// double-count the grid. Ties break to the lowest attempt id so
+	// the leader never flaps between equally advanced attempts.
+	lead, leadID := p, attempt
+	for id, q := range a.attempts[i] {
+		if q.Done > lead.Done || (q.Done == lead.Done && id < leadID) {
+			lead, leadID = q, id
+		}
+	}
+	a.shards[i] = lead
+	obsShardDone.With(shardLabel(i)).Set(float64(lead.Done))
+	obsShardTotal.With(shardLabel(i)).Set(float64(lead.Total))
 	if e.ElapsedMS > 0 {
 		obsShardRate.With(shardLabel(i)).Set(float64(e.Done) / (float64(e.ElapsedMS) / 1000))
 	}
@@ -431,6 +549,44 @@ func (a *aggregator) observe(i int, e Event) {
 	if a.progress != nil {
 		a.progress(a.snapshotLocked())
 	}
+	// Fresh progress means fresh ETA data: nudge a parked pool
+	// scheduler to reconsider stealing, without it polling a clock.
+	if a.kick != nil {
+		select {
+		case a.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (a *aggregator) setKick(ch chan struct{}) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.kick = ch
+}
+
+func (a *aggregator) addSteal() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.steals++
+	if a.progress != nil {
+		a.progress(a.snapshotLocked())
+	}
+}
+
+func (a *aggregator) addQuarantine() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.quar++
+	if a.progress != nil {
+		a.progress(a.snapshotLocked())
+	}
+}
+
+func (a *aggregator) snapshot() Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.snapshotLocked()
 }
 
 func (a *aggregator) get(i int) ShardProgress {
@@ -440,7 +596,8 @@ func (a *aggregator) get(i int) ShardProgress {
 }
 
 func (a *aggregator) snapshotLocked() Snapshot {
-	snap := Snapshot{Shards: append([]ShardProgress(nil), a.shards...), Slowest: -1}
+	snap := Snapshot{Shards: append([]ShardProgress(nil), a.shards...), Slowest: -1,
+		Steals: a.steals, Quarantined: a.quar}
 	worst := 0.0
 	for i, s := range a.shards {
 		snap.Done += s.Done

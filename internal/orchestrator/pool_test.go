@@ -1,0 +1,642 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"paradet/internal/campaign"
+	"paradet/internal/resultstore"
+)
+
+// poolHost wraps a worker Runner as a leasable pool host with
+// scriptable probe and launch failures. The pool's liveness probe is
+// the argv {"probe"} (set via Pool.ProbeArgv in every test here), so
+// the fake never confuses probes with shard attempts.
+type poolHost struct {
+	name  string
+	inner Runner
+
+	probes atomic.Int32
+	// failProbe, when non-nil, decides whether the n-th probe (1-based)
+	// fails.
+	failProbe func(n int) bool
+
+	launches atomic.Int32
+	// failLaunch, when non-nil, returns an error for the n-th shard
+	// attempt (1-based) instead of running the inner worker.
+	failLaunch func(n int) error
+}
+
+func (h *poolHost) Name() string { return h.name }
+
+func (h *poolHost) Run(ctx context.Context, argv []string, stdout, stderr io.Writer) error {
+	if len(argv) == 1 && argv[0] == "probe" {
+		n := int(h.probes.Add(1))
+		if h.failProbe != nil && h.failProbe(n) {
+			return errors.New("probe refused")
+		}
+		return nil
+	}
+	n := int(h.launches.Add(1))
+	if h.failLaunch != nil {
+		if err := h.failLaunch(n); err != nil {
+			return err
+		}
+	}
+	return h.inner.Run(ctx, argv, stdout, stderr)
+}
+
+// noSleep replaces the pool's backoff clock so quarantine tests never
+// wait on real time; it records the requested durations.
+type noSleep struct {
+	mu   sync.Mutex
+	reqs []time.Duration
+}
+
+func (s *noSleep) sleep(ctx context.Context, d time.Duration) {
+	s.mu.Lock()
+	s.reqs = append(s.reqs, d)
+	s.mu.Unlock()
+}
+
+func (s *noSleep) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.reqs)
+}
+
+func testPool(hosts []Runner, steal bool) *Pool {
+	p := &Pool{
+		Hosts:     hosts,
+		ProbeArgv: []string{"probe"},
+		Steal:     steal,
+		// Any ETA is worth stealing in tests; the fakes control the
+		// clocks, so nothing here depends on real time.
+		StealMinEta: time.Millisecond,
+	}
+	return p
+}
+
+// TestPoolLeaseAccounting runs 4 shards over 2 healthy hosts: every
+// shard leases exactly one host, lease counts balance, each host is
+// probed once (a completed lease vouches for the next), and the
+// assembled output is byte-identical to a single-host run with every
+// cell simulated exactly once.
+func TestPoolLeaseAccounting(t *testing.T) {
+	spec := orchSpec()
+	ref, err := campaign.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutcome(t, ref) + "\n"
+
+	sim := &countingSim{Simulator: campaign.Default()}
+	worker := &fakeWorker{t: t, spec: spec, sim: sim, dieShard: -1}
+	hosts := []Runner{
+		&poolHost{name: "hostA", inner: worker},
+		&poolHost{name: "hostB", inner: worker},
+	}
+	var stdout, log bytes.Buffer
+	rep, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    4,
+		Pool:      testPool(hosts, false),
+		Assembler: worker,
+		StoreRoot: t.TempDir(),
+		Stdout:    &stdout,
+		Stderr:    &log,
+	})
+	if err != nil {
+		t.Fatalf("pool run failed: %v\n%s", err, log.String())
+	}
+	if rep.Pool == nil {
+		t.Fatal("no pool report")
+	}
+	if rep.Pool.Leases != 4 {
+		t.Errorf("pool leases = %d, want 4", rep.Pool.Leases)
+	}
+	sum := 0
+	for _, h := range rep.Pool.Hosts {
+		sum += h.Leases
+		if h.Quarantined || h.Failures != 0 {
+			t.Errorf("host %s report = %+v, want healthy", h.Host, h)
+		}
+	}
+	if sum != rep.Pool.Leases {
+		t.Errorf("per-host leases sum to %d, pool counted %d", sum, rep.Pool.Leases)
+	}
+	if rep.Pool.Steals != 0 || rep.Pool.Relaunches != 0 || rep.Pool.Quarantined != 0 {
+		t.Errorf("unexpected elastic activity: %+v", rep.Pool)
+	}
+	for i := range rep.Shards {
+		if rep.Shards[i].Attempts != 1 || len(rep.Shards[i].History) != 1 {
+			t.Errorf("shard %d attempts = %d history = %+v, want one clean launch", i, rep.Shards[i].Attempts, rep.Shards[i].History)
+		}
+		if h := rep.Shards[i].History; len(h) == 1 && (h[0].Err != "" || h[0].Stolen) {
+			t.Errorf("shard %d history = %+v, want a plain win", i, h[0])
+		}
+	}
+	for _, h := range hosts {
+		if got := h.(*poolHost).probes.Load(); got != 1 {
+			t.Errorf("host %s probed %d time(s), want 1 (a finished lease vouches for the next)", h.Name(), got)
+		}
+	}
+	if stdout.String() != want {
+		t.Error("pool assembly stdout differs from the single-host run")
+	}
+	cellCount := len(spec.Workloads) * len(spec.Points)
+	if got := int(sim.runs.Load()); got != cellCount {
+		t.Errorf("protected simulations = %d, want %d", got, cellCount)
+	}
+	if rep.Sims != 0 {
+		t.Errorf("assembly sims = %d, want 0", rep.Sims)
+	}
+}
+
+// TestPoolQuarantineAfterProbeFailures gives the pool one host that
+// never answers probes: it must be quarantined after the configured
+// consecutive failures (with the backoff clock consulted, not real
+// time), lease nothing, and leave the sweep to the healthy host.
+func TestPoolQuarantineAfterProbeFailures(t *testing.T) {
+	spec := orchSpec()
+	worker := &fakeWorker{t: t, spec: spec, sim: campaign.Default(), dieShard: -1}
+	dead := &poolHost{name: "dead", inner: worker, failProbe: func(int) bool { return true }}
+	live := &poolHost{name: "live", inner: worker}
+	clock := &noSleep{}
+	pool := testPool([]Runner{dead, live}, false)
+	pool.HealthProbes = 3
+	pool.HealthBackoff = 250 * time.Millisecond
+	pool.sleep = clock.sleep
+
+	var log bytes.Buffer
+	rep, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    2,
+		Pool:      pool,
+		Assembler: worker,
+		StoreRoot: t.TempDir(),
+		Stderr:    &log,
+	})
+	if err != nil {
+		t.Fatalf("pool run failed: %v\n%s", err, log.String())
+	}
+	if rep.Pool.Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", rep.Pool.Quarantined)
+	}
+	for _, h := range rep.Pool.Hosts {
+		switch h.Host {
+		case "dead":
+			if !h.Quarantined || h.Leases != 0 {
+				t.Errorf("dead host report = %+v, want quarantined with 0 leases", h)
+			}
+		case "live":
+			if h.Quarantined || h.Leases != 2 {
+				t.Errorf("live host report = %+v, want 2 leases", h)
+			}
+		}
+	}
+	if got := dead.probes.Load(); got != 3 {
+		t.Errorf("dead host probed %d time(s), want HealthProbes=3", got)
+	}
+	// Two backoffs between three probes, against the injected clock.
+	if clock.count() != 2 {
+		t.Errorf("backoff clock consulted %d time(s), want 2", clock.count())
+	}
+	if rep.Sims != 0 {
+		t.Errorf("assembly sims = %d, want 0", rep.Sims)
+	}
+	if !strings.Contains(log.String(), "quarantined") {
+		t.Errorf("quarantine not surfaced on stderr:\n%s", log.String())
+	}
+}
+
+// TestPoolAllHostsQuarantined asserts the sweep fails loudly, rather
+// than hanging, when every host flunks its health probes.
+func TestPoolAllHostsQuarantined(t *testing.T) {
+	worker := &fakeWorker{t: t, spec: orchSpec(), sim: campaign.Default(), dieShard: -1}
+	bad := func(name string) *poolHost {
+		return &poolHost{name: name, inner: worker, failProbe: func(int) bool { return true }}
+	}
+	pool := testPool([]Runner{bad("h0"), bad("h1")}, false)
+	pool.sleep = (&noSleep{}).sleep
+	_, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    2,
+		Pool:      pool,
+		StoreRoot: t.TempDir(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Errorf("all-hosts-dead sweep returned %v, want a quarantine error", err)
+	}
+}
+
+// TestPoolRelaunchMovesHost kills the only shard's first attempt on
+// its host: the relaunch must prefer the other (idle) host rather than
+// retrying the one that just failed — a store-backed resume — and the
+// final output must stay byte-identical with no cell simulated twice
+// (the failed launch never ran a worker). One shard keeps the scene
+// deterministic: the healthy host is always free when the relaunch
+// dispatches.
+func TestPoolRelaunchMovesHost(t *testing.T) {
+	spec := orchSpec()
+	ref, err := campaign.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutcome(t, ref) + "\n"
+
+	sim := &countingSim{Simulator: campaign.Default()}
+	worker := &fakeWorker{t: t, spec: spec, sim: sim, dieShard: -1}
+	// Probes pass; the first (and only) launch crashes before the
+	// worker starts.
+	flaky := &poolHost{
+		name: "flaky", inner: worker,
+		failLaunch: func(n int) error { return errors.New("host crashed") },
+	}
+	steady := &poolHost{name: "steady", inner: worker}
+	pool := testPool([]Runner{flaky, steady}, false)
+	pool.sleep = (&noSleep{}).sleep
+
+	var stdout, log bytes.Buffer
+	rep, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    1,
+		Pool:      pool,
+		Assembler: worker,
+		StoreRoot: t.TempDir(),
+		Retries:   1,
+		Stdout:    &stdout,
+		Stderr:    &log,
+	})
+	if err != nil {
+		t.Fatalf("pool run failed: %v\n%s", err, log.String())
+	}
+	if rep.Pool.Relaunches != 1 {
+		t.Errorf("relaunches = %d, want 1", rep.Pool.Relaunches)
+	}
+	// The shard's history must show the move: the crash on flaky, then
+	// the win on steady — the relaunch must not go back to the host
+	// that just failed while another sits idle.
+	h := rep.Shards[0].History
+	if len(h) != 2 ||
+		h[0].Runner != "flaky" || h[0].Err == "" ||
+		h[1].Runner != "steady" || h[1].Err != "" {
+		t.Errorf("shard 0 history = %+v, want crash-on-flaky then win-on-steady", h)
+	}
+	// Both attempts resume the same shard store.
+	if len(h) == 2 && (h[0].Store != "shard0" || h[1].Store != "shard0") {
+		t.Errorf("relaunch changed stores (%q -> %q), want a resume of shard0", h[0].Store, h[1].Store)
+	}
+	if stdout.String() != want {
+		t.Error("assembly stdout differs after a cross-host relaunch")
+	}
+	cellCount := len(spec.Workloads) * len(spec.Points)
+	if got := int(sim.runs.Load()); got != cellCount {
+		t.Errorf("protected simulations = %d, want %d (the dead launch never simulated)", got, cellCount)
+	}
+	if !strings.Contains(log.String(), "moving to another host") {
+		t.Errorf("relaunch not surfaced on stderr:\n%s", log.String())
+	}
+}
+
+// hangingPrimary runs shard attempts against the primary store of
+// hangShard by reporting fake slow progress (a huge ETA) and then
+// blocking until cancelled — the deterministic stand-in for a laggard
+// host. Every other attempt (other shards, steal duplicates) runs the
+// real inner worker. If simulateFirst is set, the laggard first runs
+// its shard to completion (writing every cell to its store) before
+// pretending to be stuck, so the losing store holds cells.
+type hangingPrimary struct {
+	inner         *fakeWorker
+	hangStore     string // exact -store value of the attempt to hang
+	simulateFirst bool
+	hung          atomic.Bool
+}
+
+func (h *hangingPrimary) Name() string { return "hanging" }
+
+func (h *hangingPrimary) Run(ctx context.Context, argv []string, stdout, stderr io.Writer) error {
+	store := ""
+	shard := "0/1"
+	for i := 0; i < len(argv)-1; i++ {
+		switch argv[i] {
+		case "-store":
+			store = argv[i+1]
+		case "-shard":
+			shard = argv[i+1]
+		}
+	}
+	if store != h.hangStore || !h.hung.CompareAndSwap(false, true) {
+		return h.inner.Run(ctx, argv, stdout, stderr)
+	}
+	if h.simulateFirst {
+		if err := h.inner.Run(ctx, argv, stdout, io.Discard); err != nil {
+			return err
+		}
+	}
+	// Report being one cell into a long shard, then stall. The ETA is
+	// fabricated: no real time passes in this test.
+	sh, err := campaign.ParseShard(shard)
+	if err != nil {
+		return err
+	}
+	evt := Event{V: ProtocolVersion, Shard: sh.Index, Shards: sh.Count,
+		Done: 1, Total: 100, Sims: 1, Workload: "stuck", Point: "p", Scheme: "protected",
+		ElapsedMS: 10, EtaMS: 600_000}
+	line, _ := json.Marshal(evt)
+	stderr.Write(append(line, '\n'))
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestPoolStealWinnerCancelsLoser is the elastic tentpole in one
+// deterministic scene: shard 1's primary stalls with a huge
+// self-reported ETA, the host finishing shard 0 goes idle and steals a
+// duplicate attempt (store shard1.b), the duplicate wins, the stalled
+// primary is cancelled — and because the loser simulated cells before
+// stalling, its store is merged anyway, deduped by fingerprint, with
+// assembly byte-identical and zero simulations.
+func TestPoolStealWinnerCancelsLoser(t *testing.T) {
+	spec := orchSpec()
+	ref, err := campaign.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderOutcome(t, ref) + "\n"
+
+	root := t.TempDir()
+	worker := &fakeWorker{t: t, spec: spec, sim: campaign.Default(), dieShard: -1}
+	hang := &hangingPrimary{inner: worker, hangStore: filepath.Join(root, "shard1"), simulateFirst: true}
+	hosts := []Runner{
+		&poolHost{name: "hostA", inner: hang},
+		&poolHost{name: "hostB", inner: hang},
+	}
+	var stdout, log bytes.Buffer
+	var snaps []Snapshot
+	var mu sync.Mutex
+	rep, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    2,
+		Pool:      testPool(hosts, true),
+		Assembler: worker,
+		StoreRoot: root,
+		Progress: func(s Snapshot) {
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		},
+		Stdout: &stdout,
+		Stderr: &log,
+	})
+	if err != nil {
+		t.Fatalf("pool run failed: %v\n%s", err, log.String())
+	}
+	if rep.Pool.Steals != 1 {
+		t.Fatalf("steals = %d, want 1\n%s", rep.Pool.Steals, log.String())
+	}
+	if rep.Pool.StolenWins != 1 {
+		t.Errorf("stolen wins = %d, want 1 (the duplicate must beat the stalled primary)", rep.Pool.StolenWins)
+	}
+	// Shard 1's history: the stolen duplicate won, the primary was
+	// cancelled as the loser.
+	var win, lose *Attempt
+	for i := range rep.Shards[1].History {
+		a := &rep.Shards[1].History[i]
+		if a.Err == "" {
+			win = a
+		} else {
+			lose = a
+		}
+	}
+	if win == nil || !win.Stolen || win.Store != "shard1.b" {
+		t.Errorf("winning attempt = %+v, want a stolen win in shard1.b", win)
+	}
+	if lose == nil || lose.Stolen || !strings.Contains(lose.Err, "cancelled") {
+		t.Errorf("losing attempt = %+v, want the cancelled primary", lose)
+	}
+	// The loser's store holds cells, so the merge must include it:
+	// shard0 + shard1 + shard1.b, with the overlap deduped.
+	if rep.Merge.Sources != 3 {
+		t.Errorf("merge sources = %d, want 3 (the non-empty loser merges too)", rep.Merge.Sources)
+	}
+	if rep.Merge.Dups == 0 {
+		t.Error("merge deduped nothing: the duplicated shard should overlap by fingerprint")
+	}
+	if stdout.String() != want {
+		t.Error("assembly stdout differs from the single-host run after a steal")
+	}
+	if rep.Sims != 0 {
+		t.Errorf("assembly sims = %d, want 0", rep.Sims)
+	}
+	mu.Lock()
+	sawSteal := false
+	for _, s := range snaps {
+		if s.Steals > 0 {
+			sawSteal = true
+		}
+	}
+	mu.Unlock()
+	if !sawSteal {
+		t.Error("no progress snapshot carried the steal count")
+	}
+	if !strings.Contains(log.String(), "stealing shard 1") {
+		t.Errorf("steal not surfaced on stderr:\n%s", log.String())
+	}
+}
+
+// TestPoolStealEmptyLoserDiscarded is the steal race where the stalled
+// primary never wrote a cell: its store exists but is empty, and the
+// merge must skip it (primary stores always merge, so the scene flips
+// — here the EMPTY attempt store is a pre-seeded stray duplicate and
+// the primary wins). Covered directly below via merge-source counting.
+func TestPoolStealEmptyLoserDiscarded(t *testing.T) {
+	spec := orchSpec()
+	root := t.TempDir()
+	worker := &fakeWorker{t: t, spec: spec, sim: campaign.Default(), dieShard: -1}
+	// A stray empty duplicate store from an interrupted earlier run.
+	if _, err := resultstore.Open(filepath.Join(root, "shard0.b")); err != nil {
+		t.Fatal(err)
+	}
+	// And a stray non-empty one: a copy of a finished shard 1 store.
+	var stdout, log bytes.Buffer
+	rep, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    2,
+		Pool:      testPool([]Runner{&poolHost{name: "h", inner: worker}}, false),
+		Assembler: worker,
+		StoreRoot: root,
+		Stdout:    &stdout,
+		Stderr:    &log,
+	})
+	if err != nil {
+		t.Fatalf("pool run failed: %v\n%s", err, log.String())
+	}
+	// shard0 + shard1 merge; the empty shard0.b is discarded.
+	if rep.Merge.Sources != 2 {
+		t.Errorf("merge sources = %d, want 2 (empty attempt store must be discarded)", rep.Merge.Sources)
+	}
+	if rep.Sims != 0 {
+		t.Errorf("assembly sims = %d, want 0", rep.Sims)
+	}
+
+	// Re-run against the same root after duplicating shard1's finished
+	// store as a stray non-empty attempt store: now it must be merged
+	// (3 sources) and deduped rather than discarded.
+	if err := copyTree(filepath.Join(root, "shard1"), filepath.Join(root, "shard1.c")); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    2,
+		Pool:      testPool([]Runner{&poolHost{name: "h", inner: worker}}, false),
+		Assembler: worker,
+		StoreRoot: root,
+		Stderr:    &log,
+	})
+	if err != nil {
+		t.Fatalf("resumed pool run failed: %v\n%s", err, log.String())
+	}
+	if rep2.Merge.Sources != 3 {
+		t.Errorf("resumed merge sources = %d, want 3 (non-empty attempt store must merge)", rep2.Merge.Sources)
+	}
+	if rep2.Merge.Dups == 0 {
+		t.Error("resumed merge deduped nothing despite a duplicated store")
+	}
+	if rep2.Sims != 0 {
+		t.Errorf("resumed assembly sims = %d, want 0", rep2.Sims)
+	}
+}
+
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o777)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o666)
+	})
+}
+
+// TestPoolExhaustionCarriesHistory drives one shard's relaunch budget
+// to exhaustion on a pool and asserts the terminal error carries the
+// full attempt history — runner names, attempt counts, and the exit
+// error of every launch — so a dead sweep is debuggable from CI logs.
+func TestPoolExhaustionCarriesHistory(t *testing.T) {
+	worker := &fakeWorker{t: t, spec: orchSpec(), sim: campaign.Default(), dieShard: -1}
+	crash := errors.New("exit status 7")
+	always := &poolHost{name: "crashy", inner: worker, failLaunch: func(int) error { return crash }}
+	pool := testPool([]Runner{always}, false)
+	pool.sleep = (&noSleep{}).sleep
+	_, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    1,
+		Pool:      pool,
+		StoreRoot: t.TempDir(),
+		Retries:   2,
+	})
+	if err == nil {
+		t.Fatal("sweep succeeded with a permanently crashing launch")
+	}
+	for _, wantSub := range []string{"failed after 3 attempt(s)", "attempt history:", "attempt 1 on crashy", "attempt 3 on crashy", "exit status 7"} {
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("exhaustion error missing %q:\n%v", wantSub, err)
+		}
+	}
+}
+
+// TestStaticExhaustionCarriesHistory is the same contract on the
+// static (non-pool) scheduler, which PR-satellite hardening extended
+// with the identical per-attempt history.
+func TestStaticExhaustionCarriesHistory(t *testing.T) {
+	_, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    1,
+		Runners:   []Runner{brokenWorker{}},
+		StoreRoot: t.TempDir(),
+		Retries:   1,
+	})
+	if err == nil {
+		t.Fatal("sweep succeeded with a permanently broken runner")
+	}
+	for _, wantSub := range []string{"failed after 2 attempt(s)", "attempt history:", "attempt 1 on broken", "attempt 2 on broken"} {
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("exhaustion error missing %q:\n%v", wantSub, err)
+		}
+	}
+}
+
+// TestPlan pins the dry-run plan's load-bearing lines for both
+// schedulers without touching the filesystem.
+func TestPlan(t *testing.T) {
+	pool := testPool([]Runner{Local{Label: "local0"}, SSH{Host: "hostb"}}, true)
+	got, err := Plan(Options{
+		Argv:      []string{"./experiments", "-run", "fig7"},
+		Shards:    3,
+		Pool:      pool,
+		StoreRoot: "/sweep",
+		Retries:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantSub := range []string{
+		"plan: 3 shard(s)",
+		"pool: 2 host(s)",
+		"host 0: local0",
+		"host 1: ssh:hostb",
+		fmt.Sprintf("shard 0 -> host 0 (local0) · store %s", filepath.Join("/sweep", "shard0")),
+		"shard 2 -> queued",
+		"steal attempts",
+		fmt.Sprintf("merged store: %s", filepath.Join("/sweep", "merged")),
+		"assembly (local): ./experiments -run fig7",
+	} {
+		if !strings.Contains(got, wantSub) {
+			t.Errorf("plan missing %q:\n%s", wantSub, got)
+		}
+	}
+
+	static, err := Plan(Options{
+		Argv:      []string{"c"},
+		Shards:    2,
+		Runners:   []Runner{SSH{Host: "a"}},
+		StoreRoot: "/s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(static, "shard 1 -> ssh:a") {
+		t.Errorf("static plan missing round-robin assignment:\n%s", static)
+	}
+
+	// Plan must refuse what Run refuses.
+	if _, err := Plan(Options{Argv: []string{"c"}, Shards: 2, StoreRoot: "/s",
+		Pool: testPool(nil, false)}); err == nil {
+		t.Error("plan accepted a hostless pool")
+	}
+	if _, err := Plan(Options{Argv: []string{"c"}, Shards: 2, StoreRoot: "/s",
+		Pool: testPool([]Runner{Local{}}, false), Runners: []Runner{Local{}}}); err == nil {
+		t.Error("plan accepted Pool alongside Runners")
+	}
+}

@@ -33,10 +33,18 @@ type Local struct {
 	// cap each local worker's GOMAXPROCS so N workers share the
 	// machine instead of each spawning a full-width simulation pool.
 	Env []string
+	// Label, when non-empty, overrides Name — pools with several local
+	// hosts use it to tell them apart in reports and ledger events.
+	Label string
 }
 
 // Name implements Runner.
-func (Local) Name() string { return "local" }
+func (l Local) Name() string {
+	if l.Label != "" {
+		return l.Label
+	}
+	return "local"
+}
 
 // Run implements Runner.
 func (l Local) Run(ctx context.Context, argv []string, stdout, stderr io.Writer) error {
