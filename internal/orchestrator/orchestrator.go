@@ -16,7 +16,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -276,6 +276,14 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 	if err != nil {
 		return rep, fmt.Errorf("orchestrator: %w", err)
 	}
+	// Enumerate StoreRoot once for duplicate-attempt stores. A plain
+	// prefix match, not a glob: a store root containing glob
+	// metacharacters must not silently drop a winning duplicate's
+	// cells from the merge. ReadDir returns names sorted.
+	rootEntries, err := os.ReadDir(o.StoreRoot)
+	if err != nil {
+		return rep, fmt.Errorf("orchestrator: %w", err)
+	}
 	srcs := make([]*resultstore.Store, 0, o.Shards)
 	for i := 0; i < o.Shards; i++ {
 		src, err := resultstore.Open(o.shardDir(i))
@@ -288,9 +296,12 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		// discarded only when its store is empty; one that holds cells
 		// is merged anyway (fingerprint dedupe makes overlap free, and
 		// a loser may hold cells the relaunched winner resumed past).
-		extras, _ := filepath.Glob(o.shardDir(i) + ".*")
-		sort.Strings(extras)
-		for _, dir := range extras {
+		prefix := fmt.Sprintf("shard%d.", i)
+		for _, ent := range rootEntries {
+			if !ent.IsDir() || !strings.HasPrefix(ent.Name(), prefix) {
+				continue
+			}
+			dir := filepath.Join(o.StoreRoot, ent.Name())
 			src, err := resultstore.OpenExisting(dir)
 			if err != nil {
 				fmt.Fprintf(stderr, "orchestrator: ignoring attempt store %s: %v\n", dir, err)

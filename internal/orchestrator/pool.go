@@ -2,6 +2,7 @@ package orchestrator
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -396,6 +397,7 @@ func (p *Pool) run(ctx context.Context, o *Options, argvFor func(shard, attempt 
 	// attempts must drain through results (their goroutines block on
 	// the unbuffered channel, and their cancellations belong in the
 	// attempt history).
+	done := ctx.Done()
 	for unfinished > 0 || inFlight() > 0 {
 		if fatal == nil && ctx.Err() == nil && unfinished > 0 {
 			dispatch()
@@ -422,11 +424,25 @@ func (p *Pool) run(ctx context.Context, o *Options, argvFor func(shard, attempt 
 			delete(st.active, r.attempt)
 			switch {
 			case r.probeErr != nil:
-				// The host never answered: quarantine it and put the
-				// work back — no worker ran, so no retry is charged
-				// and the lease is returned uncounted.
+				// No worker ran, so no retry is charged and the lease
+				// is returned uncounted either way.
 				pool.Leases--
 				pool.Hosts[r.host].Leases--
+				if errors.Is(r.probeErr, context.Canceled) {
+					// The attempt was cancelled (a sibling won, or the
+					// sweep is shutting down) while the host was still
+					// probing or in backoff: the probe proved nothing
+					// about the host, so record the cancellation and
+					// leave the host healthy.
+					st.history = append(st.history, Attempt{N: r.ord, Runner: p.Hosts[r.host].Name(),
+						Store: storeBase(r.shard, r.attempt), Stolen: r.stolen, Err: "cancelled before launch"})
+					if !r.stolen && !st.done {
+						pending = append([]pendingWork{{shard: r.shard, attempt: r.attempt, lastHost: r.host}}, pending...)
+					}
+					break
+				}
+				// The host never answered: quarantine it and put the
+				// work back.
 				hosts[r.host].quarantined = true
 				pool.Hosts[r.host].Quarantined = true
 				pool.Quarantined++
@@ -503,9 +519,12 @@ func (p *Pool) run(ctx context.Context, o *Options, argvFor func(shard, attempt 
 				pending = append(pending, pendingWork{shard: r.shard, attempt: r.attempt, lastHost: r.host})
 			}
 		case <-kick:
-		case <-ctx.Done():
+		case <-done:
 			// Cancellation: fall through — in-flight attempts observe
-			// their contexts and drain via results.
+			// their contexts and drain via results. Nil the channel so
+			// the remaining drain blocks on results instead of spinning
+			// on the permanently-ready Done case.
+			done = nil
 		}
 	}
 
@@ -532,12 +551,19 @@ func (p *Pool) run(ctx context.Context, o *Options, argvFor func(shard, attempt 
 }
 
 // storeBase is the attempt store's directory basename; attemptStore
-// joins it under Options.StoreRoot.
+// joins it under Options.StoreRoot. Duplicate attempts get letter
+// suffixes .b through .z; a user-set MaxAttempts past that falls back
+// to a numeric .aN suffix ('a' alone is never a letter suffix, so the
+// forms cannot collide).
 func storeBase(shard, attempt int) string {
-	if attempt == 0 {
+	switch {
+	case attempt == 0:
 		return fmt.Sprintf("shard%d", shard)
+	case attempt <= 25:
+		return fmt.Sprintf("shard%d.%c", shard, 'b'+attempt-1)
+	default:
+		return fmt.Sprintf("shard%d.a%d", shard, attempt)
 	}
-	return fmt.Sprintf("shard%d.%c", shard, 'b'+attempt-1)
 }
 
 // historyLines renders an attempt history one line per attempt, for

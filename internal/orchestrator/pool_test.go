@@ -518,6 +518,146 @@ func TestPoolStealEmptyLoserDiscarded(t *testing.T) {
 	}
 }
 
+// slowProbeHost blocks its liveness probe until the probe's context is
+// cancelled (closing started on first probe), and runs shard attempts
+// on the inner worker. It models a healthy-but-slow host whose
+// pre-lease probe is still in flight when a sibling attempt wins.
+type slowProbeHost struct {
+	inner   Runner
+	started chan struct{}
+	once    sync.Once
+}
+
+func (h *slowProbeHost) Name() string { return "slowprobe" }
+
+func (h *slowProbeHost) Run(ctx context.Context, argv []string, stdout, stderr io.Writer) error {
+	if len(argv) == 1 && argv[0] == "probe" {
+		h.once.Do(func() { close(h.started) })
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return h.inner.Run(ctx, argv, stdout, stderr)
+}
+
+// etaThenFinish runs the primary attempt of its shard by first
+// reporting a huge fake ETA (baiting the steal policy), waiting until
+// the stolen duplicate's probe is in flight, then completing normally
+// — so the primary wins while the duplicate is still probing.
+type etaThenFinish struct {
+	inner     *fakeWorker
+	baitStore string // exact -store value of the attempt that baits
+	probing   <-chan struct{}
+	baited    atomic.Bool
+}
+
+func (w *etaThenFinish) Name() string { return "bait" }
+
+func (w *etaThenFinish) Run(ctx context.Context, argv []string, stdout, stderr io.Writer) error {
+	store, shard := "", "0/1"
+	for i := 0; i < len(argv)-1; i++ {
+		switch argv[i] {
+		case "-store":
+			store = argv[i+1]
+		case "-shard":
+			shard = argv[i+1]
+		}
+	}
+	if store != w.baitStore || !w.baited.CompareAndSwap(false, true) {
+		return w.inner.Run(ctx, argv, stdout, stderr)
+	}
+	sh, err := campaign.ParseShard(shard)
+	if err != nil {
+		return err
+	}
+	evt := Event{V: ProtocolVersion, Shard: sh.Index, Shards: sh.Count,
+		Done: 1, Total: 100, Sims: 1, Workload: "slow", Point: "p", Scheme: "protected",
+		ElapsedMS: 10, EtaMS: 600_000}
+	line, _ := json.Marshal(evt)
+	stderr.Write(append(line, '\n'))
+	select {
+	case <-w.probing:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return w.inner.Run(ctx, argv, stdout, stderr)
+}
+
+// TestPoolCancelledProbeNotQuarantined: the primary wins while the
+// stolen duplicate is still in its pre-lease health probe. Cancelling
+// the losing attempt must read as a cancellation, not a probe failure
+// — the healthy host stays unquarantined and the history records the
+// never-launched duplicate.
+func TestPoolCancelledProbeNotQuarantined(t *testing.T) {
+	spec := orchSpec()
+	root := t.TempDir()
+	worker := &fakeWorker{t: t, spec: spec, sim: campaign.Default(), dieShard: -1}
+	probing := make(chan struct{})
+	bait := &etaThenFinish{inner: worker, baitStore: filepath.Join(root, "shard0"), probing: probing}
+	slow := &slowProbeHost{inner: bait, started: probing}
+	pool := testPool([]Runner{&poolHost{name: "fast", inner: bait}, slow}, true)
+	pool.sleep = (&noSleep{}).sleep
+
+	var log bytes.Buffer
+	rep, err := Run(context.Background(), Options{
+		Argv:      []string{"campaign"},
+		Shards:    1,
+		Pool:      pool,
+		Assembler: worker,
+		StoreRoot: root,
+		Stderr:    &log,
+	})
+	if err != nil {
+		t.Fatalf("pool run failed: %v\n%s", err, log.String())
+	}
+	if rep.Pool.Steals != 1 {
+		t.Fatalf("steals = %d, want 1\n%s", rep.Pool.Steals, log.String())
+	}
+	if rep.Pool.Quarantined != 0 {
+		t.Errorf("quarantined = %d, want 0 (a cancelled probe proves nothing about the host)", rep.Pool.Quarantined)
+	}
+	for _, h := range rep.Pool.Hosts {
+		if h.Quarantined {
+			t.Errorf("host %s quarantined after a cancelled probe", h.Host)
+		}
+	}
+	var cancelled *Attempt
+	for i := range rep.Shards[0].History {
+		if a := &rep.Shards[0].History[i]; a.Stolen {
+			cancelled = a
+		}
+	}
+	if cancelled == nil || !strings.Contains(cancelled.Err, "cancelled before launch") {
+		t.Errorf("stolen attempt = %+v, want a cancelled-before-launch record", cancelled)
+	}
+	if rep.Pool.StolenWins != 0 {
+		t.Errorf("stolen wins = %d, want 0 (the primary won)", rep.Pool.StolenWins)
+	}
+	if rep.Sims != 0 {
+		t.Errorf("assembly sims = %d, want 0", rep.Sims)
+	}
+}
+
+// TestStoreBaseSuffixes pins the attempt-store naming: letters .b–.z,
+// then an unambiguous numeric .aN form for user-set attempt budgets
+// past 26 (never punctuation).
+func TestStoreBaseSuffixes(t *testing.T) {
+	for _, tc := range []struct {
+		attempt int
+		want    string
+	}{
+		{0, "shard3"},
+		{1, "shard3.b"},
+		{2, "shard3.c"},
+		{25, "shard3.z"},
+		{26, "shard3.a26"},
+		{40, "shard3.a40"},
+	} {
+		if got := storeBase(3, tc.attempt); got != tc.want {
+			t.Errorf("storeBase(3, %d) = %q, want %q", tc.attempt, got, tc.want)
+		}
+	}
+}
+
 func copyTree(src, dst string) error {
 	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
 		if err != nil {

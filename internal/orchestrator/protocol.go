@@ -203,14 +203,19 @@ func (d *Decoder) line(s string) {
 
 // tailBuffer keeps roughly the last max bytes of a worker's plain
 // stderr lines, so a shard that exhausts its retries can be reported
-// with the diagnostics it died printing.
+// with the diagnostics it died printing. It is safe for concurrent
+// use: with stealing active, a shard's primary and duplicate attempts
+// feed the same buffer from separate decoder goroutines.
 type tailBuffer struct {
 	max   int
+	mu    sync.Mutex
 	lines []string
 	size  int
 }
 
 func (t *tailBuffer) add(line string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.lines = append(t.lines, line)
 	t.size += len(line) + 1
 	for len(t.lines) > 1 && t.size > t.max {
@@ -219,4 +224,8 @@ func (t *tailBuffer) add(line string) {
 	}
 }
 
-func (t *tailBuffer) String() string { return strings.Join(t.lines, "\n") }
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return strings.Join(t.lines, "\n")
+}

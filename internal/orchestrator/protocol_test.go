@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -205,5 +206,28 @@ func TestTailBuffer(t *testing.T) {
 	one.add("a very long single line that exceeds the budget")
 	if one.String() == "" {
 		t.Error("tail must keep at least one line")
+	}
+}
+
+// TestTailBufferConcurrent hammers one buffer from several goroutines
+// — the shape a pool steal produces, where a shard's primary and its
+// duplicate attempts decode stderr concurrently into the shared tail.
+// Run under -race this pins the buffer's locking.
+func TestTailBufferConcurrent(t *testing.T) {
+	tb := &tailBuffer{max: 64}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tb.add(fmt.Sprintf("g%d-line-%d", g, i))
+				_ = tb.String()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tb.String() == "" {
+		t.Error("tail empty after concurrent writes")
 	}
 }
