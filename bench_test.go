@@ -421,6 +421,11 @@ func BenchmarkStoreWarmSweep(b *testing.B) { bench.StoreWarmSweep(b) }
 // subset: shared with cmd/pdbench via internal/bench.)
 func BenchmarkSimulatorThroughput(b *testing.B) { bench.SimulatorThroughput(b) }
 
+// BenchmarkSimulatorThroughputTelemetry is the same run with an
+// interval telemetry probe attached — the live cost of sampling.
+// (Pinned subset: shared with cmd/pdbench via internal/bench.)
+func BenchmarkSimulatorThroughputTelemetry(b *testing.B) { bench.SimulatorThroughputTelemetry(b) }
+
 // BenchmarkCampaignScaling measures the sweep engine's parallel speedup
 // on a fixed 9-workload grid (near-linear on multi-core hosts). The
 // 4-worker point is the pinned campaign_scaling case of cmd/pdbench.

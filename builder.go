@@ -7,6 +7,7 @@ import (
 	detect "paradet/internal/core"
 	"paradet/internal/inorder"
 	"paradet/internal/mem"
+	"paradet/internal/obs/telemetry"
 	"paradet/internal/ooo"
 	"paradet/internal/sim"
 	"paradet/internal/trace"
@@ -26,6 +27,7 @@ type SystemBuilder struct {
 	protected bool
 	fp        *faultPlan
 	faults    []Fault
+	probe     *telemetry.Probe
 }
 
 // NewSystemBuilder starts a builder for the protected system (main core
@@ -54,6 +56,17 @@ func (b *SystemBuilder) withPlan(fp *faultPlan) *SystemBuilder {
 	return b
 }
 
+// WithTelemetry attaches an interval telemetry probe: the main core
+// records a sample every probe interval of committed instructions,
+// and the builder extends each sample with detector and checker-
+// cluster state when the system is protected. Telemetry is strictly
+// out-of-band — it changes no simulation state and no Result field.
+// A nil probe is a no-op.
+func (b *SystemBuilder) WithTelemetry(p *telemetry.Probe) *SystemBuilder {
+	b.probe = p
+	return b
+}
+
 // Build validates the configuration and assembles the system. The
 // returned System is single-use: Run executes it to completion.
 func (b *SystemBuilder) Build() (*System, error) {
@@ -79,6 +92,9 @@ func (b *SystemBuilder) Build() (*System, error) {
 		s.buildCheckerCluster()
 	}
 	s.buildMainCore()
+	if b.probe != nil {
+		s.attachTelemetry(b.probe)
+	}
 	return s, nil
 }
 
@@ -234,6 +250,26 @@ func (s *System) buildMainCore() {
 	bp := branch.New(branch.Config{})
 	s.mainCore = ooo.New(s.ocfg, s.oracle, s.memory.l1i, s.memory.l1d, bp, gate)
 	s.eng.Add(s.mainCore, 0)
+}
+
+// attachTelemetry arms the main core's probe and composes its Extra
+// hook from the detection-side components the core cannot see. The
+// hook runs once per sample interval, never per instruction.
+func (s *System) attachTelemetry(p *telemetry.Probe) {
+	det, checkers := s.det, s.checkers
+	p.Extra = func(smp *telemetry.Sample) {
+		if det != nil {
+			det.TelemetryFill(smp)
+		}
+		for _, ck := range checkers {
+			busy, instrs := ck.TelemetrySnapshot()
+			if busy {
+				smp.CheckersBusy++
+			}
+			smp.CheckerInstrs += instrs
+		}
+	}
+	s.mainCore.AttachProbe(p)
 }
 
 // Run executes the system to completion: the main core drains, then

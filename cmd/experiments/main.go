@@ -18,6 +18,7 @@
 //	experiments -run fig7 -shard 0/3 -store shard0  # this host's third of the grid
 //	experiments -run fig7 -shard 0/3 -shard-strategy weighted -store shard0
 //	experiments -run fig7 -progress-json            # machine-readable progress (pdsweep)
+//	experiments -run fig7 -store .pdstore -telemetry  # per-cell telemetry sidecars (pdreport)
 //
 // Output on stdout is deterministic: -parallel N produces bytes
 // identical to -parallel 1, and a -store re-run produces bytes
@@ -41,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -79,6 +81,8 @@ func main() {
 	progressJSON := flag.Bool("progress-json", false, "emit one machine-readable JSON progress line per completed cell to stderr (the pdsweep protocol)")
 	shardArg := flag.String("shard", "", "execute one slice i/n of every sweep's grid (e.g. 0/3); merge the shard stores with pdstore")
 	shardStrategy := flag.String("shard-strategy", "", "cell assignment for -shard: round-robin (default) or weighted (balance summed instruction samples)")
+	telem := flag.Bool("telemetry", false, "write per-cell interval telemetry sidecars (<store>/telemetry/<fp>.jsonl, or ./telemetry without -store) for simulated protected cells; analyze with pdreport")
+	telemInterval := flag.Uint64("telemetry-interval", 0, "committed instructions between telemetry samples (0 = default)")
 	profFlags := prof.Register()
 	obsFlags := obs.Register()
 	flag.Parse()
@@ -131,6 +135,16 @@ func main() {
 			os.Exit(1)
 		}
 		opts.Store = st
+	}
+	if *telem {
+		dir := "telemetry"
+		if opts.Store != nil {
+			dir = filepath.Join(opts.Store.Dir(), "telemetry")
+		}
+		opts.Telemetry = &campaign.TelemetryOptions{Dir: dir, Interval: *telemInterval}
+	} else if *telemInterval != 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -telemetry-interval needs -telemetry")
+		os.Exit(1)
 	}
 	if *progressJSON {
 		opts.Progress = orchestrator.Emitter(os.Stderr, opts.Shard, time.Now())

@@ -8,6 +8,7 @@
 //	hetsim -asm prog.s -instrs 100000
 //	hetsim -workload bitcount -fault store-value:40:5
 //	hetsim -workload stream -baseline lockstep
+//	hetsim -workload stream -telemetry      # interval sidecar for pdreport
 //
 // A fault-injection grid runs as a first-class campaign — the cross
 // product of -fault-targets, -fault-seqs and -fault-bits — optionally
@@ -34,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,6 +45,7 @@ import (
 	"paradet/internal/campaign"
 	"paradet/internal/experiments"
 	"paradet/internal/obs"
+	"paradet/internal/obs/telemetry"
 	"paradet/internal/orchestrator"
 	"paradet/internal/prof"
 	"paradet/internal/resultstore"
@@ -80,6 +83,8 @@ func main() {
 	shardArg := flag.String("shard", "", "fault campaign: execute one slice i/n of the grid (e.g. 0/3)")
 	shardStrategy := flag.String("shard-strategy", "", "fault campaign: cell assignment for -shard, round-robin (default) or weighted")
 	progressJSON := flag.Bool("progress-json", false, "fault campaign: emit one JSON progress line per completed cell to stderr (the pdsweep protocol)")
+	telem := flag.Bool("telemetry", false, "write interval telemetry sidecars (<store>/telemetry/<fp>.jsonl, or ./telemetry without -store); campaigns cover simulated protected cells only; analyze with pdreport")
+	telemInterval := flag.Uint64("telemetry-interval", 0, "committed instructions between telemetry samples (0 = default)")
 	profFlags := prof.Register()
 	obsFlags := obs.Register()
 	flag.Parse()
@@ -102,6 +107,17 @@ func main() {
 		cfg.TimeoutInstrs = *timeout
 	}
 	cfg.MaxInstrs = *instrs // 0 = workload default (resolved below / by the engine)
+
+	var telemOpts *campaign.TelemetryOptions
+	if *telem {
+		dir := telemetry.SidecarDirName
+		if *storeDir != "" {
+			dir = filepath.Join(*storeDir, telemetry.SidecarDirName)
+		}
+		telemOpts = &campaign.TelemetryOptions{Dir: dir, Interval: *telemInterval}
+	} else if *telemInterval != 0 {
+		fail(fmt.Errorf("-telemetry-interval needs -telemetry"))
+	}
 
 	if *faultTargets != "" {
 		// The campaign engine loads (and assembles) the workload itself,
@@ -126,7 +142,7 @@ func main() {
 		}
 		err = runFaultCampaign(*workload, cfg, faultGridArgs{
 			targets: *faultTargets, seqs: *faultSeqs, bits: *faultBits, sticky: *faultSticky,
-		}, *storeDir, *jsonOut, *progressJSON, shard, obsFlags)
+		}, *storeDir, *jsonOut, *progressJSON, shard, telemOpts, obsFlags)
 		if err != nil {
 			fail(err)
 		}
@@ -158,9 +174,21 @@ func main() {
 		faults = append(faults, f)
 	}
 
-	res, err := paradet.RunWithFaults(cfg, prog, faults)
+	// With -telemetry the protected run goes through the builder so a
+	// probe can ride along; the probe is out-of-band, so the Result (and
+	// every printed line) is identical to the plain RunWithFaults path.
+	var probe *telemetry.Probe
+	b := paradet.NewSystemBuilder(cfg, prog).WithFaults(faults...)
+	if telemOpts != nil {
+		probe = telemetry.New(telemOpts.Interval, telemOpts.Cap)
+		b.WithTelemetry(probe)
+	}
+	res, err := b.Run()
 	if err != nil {
 		fail(err)
+	}
+	if probe != nil {
+		writeSingleRunSidecar(telemOpts.Dir, name, cfg, probe)
 	}
 	base, err := paradet.RunUnprotected(cfg, prog)
 	if err != nil {
@@ -259,12 +287,12 @@ func parseGrid(a faultGridArgs) (campaign.FaultGrid, error) {
 // prints either the text summary or the versioned JSON report. A
 // non-nil shard restricts it to that slice of the grid (the report
 // then only covers the shard's cells).
-func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, storeDir string, jsonOut, progressJSON bool, shard *campaign.Shard, obsFlags *obs.Flags) error {
+func runFaultCampaign(workload string, cfg paradet.Config, args faultGridArgs, storeDir string, jsonOut, progressJSON bool, shard *campaign.Shard, telemOpts *campaign.TelemetryOptions, obsFlags *obs.Flags) error {
 	grid, err := parseGrid(args)
 	if err != nil {
 		return err
 	}
-	opts := campaign.Options{Shard: shard}
+	opts := campaign.Options{Shard: shard, Telemetry: telemOpts}
 	if storeDir != "" {
 		st, err := resultstore.Open(storeDir)
 		if err != nil {
@@ -371,6 +399,35 @@ func parseFault(spec string) (paradet.Fault, error) {
 		f.Sticky = true
 	}
 	return f, nil
+}
+
+// writeSingleRunSidecar persists the single-run probe as a sidecar
+// named by the same store fingerprint a campaign cell would use, so
+// pdreport reads CLI runs and campaign sweeps interchangeably. All
+// reporting goes to stderr; stdout stays byte-identical to a run
+// without -telemetry.
+func writeSingleRunSidecar(dir, name string, cfg paradet.Config, probe *telemetry.Probe) {
+	s := telemetry.Series{
+		Header: telemetry.Header{
+			Fingerprint: resultstore.Key{
+				Workload: name,
+				Scheme:   string(campaign.SchemeProtected),
+				Config:   cfg,
+			}.Fingerprint(),
+			Workload: name,
+			Point:    "cli",
+			Scheme:   string(campaign.SchemeProtected),
+		},
+		Samples: probe.Samples(),
+	}
+	s.Header.Finalize(probe)
+	path, err := s.WriteFile(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetsim: telemetry:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: %d samples (%d kept) -> %s\n",
+		probe.Total(), len(s.Samples), path)
 }
 
 func fail(err error) {

@@ -15,6 +15,7 @@
 //	pdsweep -n 6 -hosts local,local,ssh:hostb -store-root /shared/sweep ./experiments -run fig7
 //	pdsweep -n 4 -hosts local,local,local,local -dry-run ./experiments -run fig7
 //	pdsweep -n 3 go run ./cmd/hetsim -workload bitcount -fault-targets all
+//	pdsweep -n 2 -telemetry -trace sweep.json -store-root /tmp/sweep go run ./cmd/experiments -run fig7
 //
 // -hosts turns the static shard-to-runner assignment into an elastic
 // pool: hosts are health-checked before every lease, a dead host is
@@ -49,6 +50,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -56,8 +58,13 @@ import (
 
 	"paradet/internal/campaign"
 	"paradet/internal/obs"
+	"paradet/internal/obs/telemetry"
 	"paradet/internal/orchestrator"
 )
+
+// telemetryPIDBase offsets counter-track process IDs in the sweep
+// trace so they never collide with shard-numbered slice processes.
+const telemetryPIDBase = 1000
 
 func main() {
 	n := flag.Int("n", 2, "number of shard workers to split the sweep across")
@@ -72,12 +79,20 @@ func main() {
 	compact := flag.Bool("compact", false, "pack the merged store into a segment file before assembly (keep -store-root to reuse the packed store)")
 	tick := flag.Duration("tick", time.Second, "minimum interval between progress lines on stderr")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the sweep to this file (open in chrome://tracing or Perfetto): shards as processes, cells as slices")
+	telem := flag.Bool("telemetry", false, "pass -telemetry to every shard worker; sidecars are forwarded into <store-root>/merged/telemetry (use -store-root to keep them) and, with -trace, rendered as per-cell counter tracks")
 	obsFlags := obs.Register()
 	flag.Parse()
 
 	argv := flag.Args()
 	if len(argv) == 0 {
 		fail(fmt.Errorf("no campaign command (try: pdsweep -n 3 go run ./cmd/experiments -run fig7)"))
+	}
+	if *telem {
+		// Shard workers write sidecars into their own -store dir; the
+		// orchestrator forwards them into the merged store. The assembly
+		// pass inherits the flag too, harmlessly: it is all store hits,
+		// and warm cells never write sidecars.
+		argv = append(argv, "-telemetry")
 	}
 	if *n < 1 {
 		fail(fmt.Errorf("-n must be >= 1, got %d", *n))
@@ -259,6 +274,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "pdsweep: %d shard(s) ok, %d retr%s · %s · assembled cells=%d hits=%d misses=%d%s%s · %.1fs\n",
 		*n, rep.Retried(), plural(rep.Retried(), "y", "ies"), rep.Merge, rep.Cells, rep.Hits, rep.Sims, compacted, poolNote,
 		time.Since(start).Seconds())
+
+	// With both -telemetry and -trace, the sweep timeline gains one
+	// counter-track process group per simulated cell (IPC, occupancies,
+	// stall breakdown), rendered from the merged sidecars.
+	if *telem && trace != nil {
+		telemDir := filepath.Join(root, "merged", telemetry.SidecarDirName)
+		if _, err := os.Stat(telemDir); err == nil {
+			series, err := telemetry.LoadDir(telemDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pdsweep: telemetry:", err)
+			} else {
+				for i, s := range series {
+					obs.TelemetryTracks(trace, telemetryPIDBase+i, s)
+				}
+				fmt.Fprintf(os.Stderr, "pdsweep: %d telemetry counter track group(s) added to trace\n", len(series))
+			}
+		}
+	}
 	onExit()
 	if cleanup {
 		os.RemoveAll(root)

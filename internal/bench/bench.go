@@ -18,12 +18,20 @@ import (
 
 	"paradet"
 	"paradet/internal/campaign"
+	"paradet/internal/obs/telemetry"
 	"paradet/internal/resultstore"
 )
 
 // SchemaVersion is bumped whenever the BENCH JSON layout changes
-// incompatibly; the schema golden test pins it.
-const SchemaVersion = 1
+// incompatibly; the schema golden test pins it. Version history:
+//
+//	1: simulator_throughput, campaign_scaling, warm_store_sweep, fault_grid
+//	2: adds simulator_throughput_telemetry (probe-attached variant)
+//
+// Committed baselines validate against their own recorded version, so
+// bumping the schema never invalidates history; Compare simply skips
+// groups the older report predates.
+const SchemaVersion = 2
 
 // ThroughputInstrs is the committed-instruction sample per op of the
 // simulator-throughput benchmark; per-instruction metrics divide by it.
@@ -46,30 +54,46 @@ type Case struct {
 	Metrics func(testing.BenchmarkResult) Metrics
 }
 
-// RequiredMetrics pins the exact metric names each case must emit; the
-// schema golden test and the committed-baseline validation both check
-// against it.
-var RequiredMetrics = map[string][]string{
-	"simulator_throughput": {"minstr_per_s", "ns_per_instr", "allocs_per_instr", "bytes_per_instr"},
-	"campaign_scaling":     {"cells_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
-	"warm_store_sweep":     {"sweeps_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
-	"fault_grid":           {"cells_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
+// throughputMetricNames are the per-instruction metric names shared by
+// both simulator-throughput cases.
+var throughputMetricNames = []string{"minstr_per_s", "ns_per_instr", "allocs_per_instr", "bytes_per_instr"}
+
+// requiredBySchema pins, per schema version, the exact metric groups
+// and names a report must carry. Old committed baselines validate
+// against the version they recorded.
+var requiredBySchema = map[int]map[string][]string{
+	1: {
+		"simulator_throughput": throughputMetricNames,
+		"campaign_scaling":     {"cells_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
+		"warm_store_sweep":     {"sweeps_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
+		"fault_grid":           {"cells_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
+	},
+	2: {
+		"simulator_throughput":           throughputMetricNames,
+		"simulator_throughput_telemetry": throughputMetricNames,
+		"campaign_scaling":               {"cells_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
+		"warm_store_sweep":               {"sweeps_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
+		"fault_grid":                     {"cells_per_s", "ns_per_op", "allocs_per_op", "bytes_per_op"},
+	},
 }
+
+// RequiredMetrics pins the exact metric names each case must emit at
+// the current schema; the schema golden test and fresh-report
+// validation both check against it.
+var RequiredMetrics = requiredBySchema[SchemaVersion]
 
 // Cases returns the pinned subset in a fixed order.
 func Cases() []Case {
 	return []Case{
 		{
-			Name:  "simulator_throughput",
-			Bench: SimulatorThroughput,
-			Metrics: func(r testing.BenchmarkResult) Metrics {
-				return Metrics{
-					"minstr_per_s":     r.Extra["Minstr/s"],
-					"ns_per_instr":     float64(r.NsPerOp()) / ThroughputInstrs,
-					"allocs_per_instr": float64(r.AllocsPerOp()) / ThroughputInstrs,
-					"bytes_per_instr":  float64(r.AllocedBytesPerOp()) / ThroughputInstrs,
-				}
-			},
+			Name:    "simulator_throughput",
+			Bench:   SimulatorThroughput,
+			Metrics: throughputMetrics,
+		},
+		{
+			Name:    "simulator_throughput_telemetry",
+			Bench:   SimulatorThroughputTelemetry,
+			Metrics: throughputMetrics,
 		},
 		{
 			Name:    "campaign_scaling",
@@ -93,6 +117,17 @@ func Cases() []Case {
 			Bench:   FaultGridCampaign,
 			Metrics: cellRateMetrics,
 		},
+	}
+}
+
+// throughputMetrics derives the per-instruction costs shared by both
+// simulator-throughput cases.
+func throughputMetrics(r testing.BenchmarkResult) Metrics {
+	return Metrics{
+		"minstr_per_s":     r.Extra["Minstr/s"],
+		"ns_per_instr":     float64(r.NsPerOp()) / ThroughputInstrs,
+		"allocs_per_instr": float64(r.AllocsPerOp()) / ThroughputInstrs,
+		"bytes_per_instr":  float64(r.AllocedBytesPerOp()) / ThroughputInstrs,
 	}
 }
 
@@ -157,6 +192,32 @@ func SimulatorThroughput(b *testing.B) {
 		res, err := paradet.Run(cfg, p)
 		if err != nil {
 			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// SimulatorThroughputTelemetry is SimulatorThroughput with an interval
+// telemetry probe attached at the default interval — the cost of
+// sampling live. The un-probed case doubles as the nil-probe guard:
+// telemetry off must stay within the committed baseline's regression
+// gate, because the disabled path is one compare per retired
+// instruction.
+func SimulatorThroughputTelemetry(b *testing.B) {
+	p := loadWorkload(b, "fluidanimate")
+	cfg := paradet.DefaultConfig()
+	cfg.MaxInstrs = ThroughputInstrs
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		probe := telemetry.New(0, 0)
+		res, err := paradet.NewSystemBuilder(cfg, p).WithTelemetry(probe).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if probe.Total() == 0 {
+			b.Fatal("probe never sampled")
 		}
 		instrs += res.Instructions
 	}
@@ -311,16 +372,18 @@ func EnvMismatches(a, b *Report) []string {
 	return out
 }
 
-// Validate checks a report against the pinned schema: version, and
-// exactly the required metric groups and names.
+// Validate checks a report against its own recorded schema version:
+// exactly that version's required metric groups and names. Historic
+// baselines therefore stay valid across schema bumps.
 func (r *Report) Validate() error {
-	if r.Schema != SchemaVersion {
-		return fmt.Errorf("schema %d, want %d", r.Schema, SchemaVersion)
+	required, ok := requiredBySchema[r.Schema]
+	if !ok {
+		return fmt.Errorf("unknown schema %d (this build knows <= %d)", r.Schema, SchemaVersion)
 	}
-	if len(r.Metrics) != len(RequiredMetrics) {
-		return fmt.Errorf("%d metric groups, want %d", len(r.Metrics), len(RequiredMetrics))
+	if len(r.Metrics) != len(required) {
+		return fmt.Errorf("%d metric groups, want %d for schema %d", len(r.Metrics), len(required), r.Schema)
 	}
-	for group, names := range RequiredMetrics {
+	for group, names := range required {
 		m, ok := r.Metrics[group]
 		if !ok {
 			return fmt.Errorf("missing metric group %q", group)
@@ -349,7 +412,10 @@ type Delta struct {
 // Compare diffs two reports metric by metric. maxRegressPct bounds the
 // allowed drop in rate metrics ("_per_s"); maxAllocGrowthPct bounds the
 // allowed growth in allocation counts ("allocs_*"). A threshold <= 0
-// disables that gate. The bool reports whether every gate passed.
+// disables that gate. Metric groups absent from either report (a
+// baseline recorded at an older schema) are skipped, not failed, so a
+// schema bump does not orphan the committed history. The bool reports
+// whether every gate passed.
 func Compare(a, b *Report, maxRegressPct, maxAllocGrowthPct float64) ([]Delta, bool) {
 	var out []Delta
 	ok := true
@@ -359,6 +425,9 @@ func Compare(a, b *Report, maxRegressPct, maxAllocGrowthPct float64) ([]Delta, b
 	}
 	sort.Strings(groups)
 	for _, g := range groups {
+		if a.Metrics[g] == nil || b.Metrics[g] == nil {
+			continue
+		}
 		names := append([]string(nil), RequiredMetrics[g]...)
 		sort.Strings(names)
 		for _, n := range names {

@@ -22,10 +22,11 @@ func fakeResult(extra map[string]float64) testing.BenchmarkResult {
 // BENCH files, the compare gate, and CI all depend on.
 func TestMetricsSchemaPinned(t *testing.T) {
 	extras := map[string]map[string]float64{
-		"simulator_throughput": {"Minstr/s": 1.5},
-		"campaign_scaling":     {"cells": 18},
-		"warm_store_sweep":     nil,
-		"fault_grid":           {"cells": 4},
+		"simulator_throughput":           {"Minstr/s": 1.5},
+		"simulator_throughput_telemetry": {"Minstr/s": 1.4},
+		"campaign_scaling":               {"cells": 18},
+		"warm_store_sweep":               nil,
+		"fault_grid":                     {"cells": 4},
 	}
 	cases := Cases()
 	if len(cases) != len(RequiredMetrics) {
@@ -73,6 +74,47 @@ func TestCommittedBaselines(t *testing.T) {
 		if err := r.Validate(); err != nil {
 			t.Errorf("%s: %v", p, err)
 		}
+	}
+}
+
+// TestSchemaCompat pins the cross-version rules: an old (schema 1)
+// baseline still validates, compares against a current report with the
+// newer groups skipped rather than failed, and an unknown schema is
+// rejected.
+func TestSchemaCompat(t *testing.T) {
+	old := &Report{Schema: 1, Rev: "old", Metrics: map[string]Metrics{}}
+	for g, names := range requiredBySchema[1] {
+		m := Metrics{}
+		for _, n := range names {
+			m[n] = 100
+		}
+		old.Metrics[g] = m
+	}
+	if err := old.Validate(); err != nil {
+		t.Errorf("schema-1 baseline must stay valid: %v", err)
+	}
+
+	cur := testReport(nil)
+	deltas, ok := Compare(old, cur, 15, 10)
+	if !ok {
+		t.Error("schema-1 vs schema-2 with equal shared metrics must pass")
+	}
+	for _, d := range deltas {
+		if d.Group == "simulator_throughput_telemetry" {
+			t.Errorf("group absent from the old report must be skipped, got delta %+v", d)
+		}
+	}
+	// The shared groups are still gated: a regression in one fails.
+	slow := testReport(func(r *Report) {
+		r.Metrics["simulator_throughput"]["minstr_per_s"] = 50
+	})
+	if _, ok := Compare(old, slow, 15, 10); ok {
+		t.Error("regression in a shared group must still fail across schemas")
+	}
+
+	future := testReport(func(r *Report) { r.Schema = SchemaVersion + 1 })
+	if err := future.Validate(); err == nil {
+		t.Error("unknown future schema accepted")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"paradet"
 	"paradet/internal/obs"
+	"paradet/internal/obs/telemetry"
 	"paradet/internal/resultstore"
 )
 
@@ -124,6 +125,27 @@ type Options struct {
 	// split one sweep. The spec itself is untouched — Assemble later
 	// re-executes it unsharded against the merged stores.
 	Shard *Shard
+	// Telemetry, when non-nil, attaches an interval telemetry probe to
+	// every simulated protected (non-fault) cell and writes a sidecar
+	// JSONL series per cell. Telemetry is strictly out-of-band: store
+	// contents, fingerprints, Results and stdout are byte-identical to
+	// a run without it, and store-served cells never re-simulate just
+	// to produce telemetry.
+	Telemetry *TelemetryOptions
+}
+
+// TelemetryOptions configure per-cell telemetry capture.
+type TelemetryOptions struct {
+	// Dir receives one <fingerprint>.jsonl sidecar per simulated
+	// protected cell; conventionally <store dir>/telemetry. Required.
+	Dir string
+	// Interval is the committed-instruction sampling interval
+	// (0 = telemetry.DefaultInterval).
+	Interval uint64
+	// Cap bounds retained samples per cell (0 = telemetry.DefaultCap);
+	// older samples are overwritten, whole-run totals survive in the
+	// sidecar header.
+	Cap int
 }
 
 // counters aggregates engine statistics across workers.
@@ -389,12 +411,16 @@ func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options)
 		owned = append(owned, i)
 	}
 
+	if opts.Telemetry != nil && opts.Telemetry.Dir == "" {
+		return nil, fmt.Errorf("campaign %q: telemetry needs a sidecar directory", spec.Name)
+	}
 	eng := &engine{
 		sim:      sim,
 		store:    opts.Store,
 		ctrs:     &counters{},
 		progress: opts.Progress,
 		total:    len(owned),
+		telem:    opts.Telemetry,
 	}
 	eng.cache = newRefCache(sim, opts.Store, eng.ctrs)
 	if obs.Enabled() {
@@ -437,6 +463,7 @@ type engine struct {
 	total    int
 	mu       sync.Mutex // serializes progress callbacks
 	progress ProgressFunc
+	telem    *TelemetryOptions
 }
 
 // report emits one progress event (serialized across workers). The
@@ -528,7 +555,15 @@ func (e *engine) run(ctx context.Context, r *Run, prog *paradet.Program, withBas
 			}
 		}
 		e.ctrs.cellSims.Add(1)
-		r.Res, r.Err = e.sim.Run(ctx, r.Config, prog)
+		if ts, ok := e.sim.(TelemetrySimulator); ok && e.telem != nil {
+			probe := telemetry.New(e.telem.Interval, e.telem.Cap)
+			r.Res, r.Err = ts.RunTelemetry(ctx, r.Config, prog, probe)
+			if r.Err == nil {
+				e.writeTelemetry(key, r, probe)
+			}
+		} else {
+			r.Res, r.Err = e.sim.Run(ctx, r.Config, prog)
+		}
 		if r.Err == nil && e.store != nil {
 			e.store.Put(key, &resultstore.Cell{Result: r.Res}) // best-effort
 		}
@@ -547,6 +582,33 @@ func (e *engine) run(ctx context.Context, r *Run, prog *paradet.Program, withBas
 	}
 	r.Baseline = base
 	r.Slowdown = r.TimeNS() / base.TimeNS
+}
+
+// writeTelemetry drops the cell's telemetry series as a sidecar named
+// by the cell fingerprint, and notes it on the ledger when one is
+// attached. Best-effort, like store writes: telemetry must never fail
+// a cell that simulated fine.
+func (e *engine) writeTelemetry(key resultstore.Key, r *Run, probe *telemetry.Probe) {
+	s := &telemetry.Series{Samples: probe.Samples()}
+	s.Header.Fingerprint = key.Fingerprint()
+	s.Header.Workload = r.Workload
+	s.Header.Point = r.Point.Label
+	s.Header.Scheme = string(r.Scheme)
+	s.Header.Finalize(probe)
+	if _, err := s.WriteFile(e.telem.Dir); err != nil {
+		obsTelemErr.Inc()
+		if obs.Enabled() {
+			obs.Emit(obs.Entry{Event: "telemetry", Phase: "campaign",
+				Workload: r.Workload, Point: r.Point.Label, Scheme: string(r.Scheme), Err: err.Error()})
+		}
+		return
+	}
+	obsTelemCells.Inc()
+	if obs.Enabled() {
+		obs.Emit(obs.Entry{Event: "telemetry", Phase: "campaign",
+			Workload: r.Workload, Point: r.Point.Label, Scheme: string(r.Scheme),
+			Count: int(s.Header.TotalSamples), Detail: s.Header.Fingerprint})
+	}
 }
 
 // runFault classifies one fault-injection cell against the memoised

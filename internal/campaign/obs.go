@@ -16,4 +16,8 @@ var (
 		"Memoised reference runs (unprotected/lockstep/RMT baselines), by source.", "state")
 	obsRefHit = obsRefs.With("hit")
 	obsRefSim = obsRefs.With("sim")
+	obsTelem  = obs.Default().CounterVec("paradet_campaign_telemetry_sidecars_total",
+		"Telemetry sidecars written per simulated protected cell, by outcome.", "state")
+	obsTelemCells = obsTelem.With("written")
+	obsTelemErr   = obsTelem.With("error")
 )

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"paradet"
+	"paradet/internal/obs/telemetry"
 )
 
 // Simulator abstracts the simulation entry points the campaign engine
@@ -29,6 +30,15 @@ type Simulator interface {
 	ClassifyFault(ctx context.Context, cfg paradet.Config, p *paradet.Program, f paradet.Fault, golden *paradet.Result) (paradet.FaultRecord, error)
 }
 
+// TelemetrySimulator is an optional Simulator extension: a protected
+// run with an interval telemetry probe attached. The engine
+// type-asserts for it when Options.Telemetry is set and falls back to
+// plain Run (no telemetry) on simulators that don't implement it, so
+// test fakes keep working unchanged.
+type TelemetrySimulator interface {
+	RunTelemetry(ctx context.Context, cfg paradet.Config, p *paradet.Program, probe *telemetry.Probe) (*paradet.Result, error)
+}
+
 // Default returns the Simulator backed by the real paradet simulator.
 func Default() Simulator { return defaultSim{} }
 
@@ -46,6 +56,13 @@ func (defaultSim) Run(ctx context.Context, cfg paradet.Config, p *paradet.Progra
 		return nil, err
 	}
 	return paradet.NewSystemBuilder(cfg, p).Run()
+}
+
+func (defaultSim) RunTelemetry(ctx context.Context, cfg paradet.Config, p *paradet.Program, probe *telemetry.Probe) (*paradet.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return paradet.NewSystemBuilder(cfg, p).WithTelemetry(probe).Run()
 }
 
 func (defaultSim) RunUnprotected(ctx context.Context, cfg paradet.Config, p *paradet.Program) (*paradet.Result, error) {

@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paradet"
+	"paradet/internal/obs/telemetry"
+	"paradet/internal/resultstore"
+)
+
+// TestTelemetrySidecarRoundTrip runs a 2-cell protected campaign with
+// telemetry attached, reads the sidecars back, and reconciles sample
+// counts against each cell's committed instructions — the end-to-end
+// contract pdreport depends on. It also proves zero drift at the
+// Result level and that warm (store-served) cells write no sidecars.
+func TestTelemetrySidecarRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	telemDir := filepath.Join(dir, "telemetry")
+	const interval = 500
+	spec := Spec{
+		Name:      "telemetry-roundtrip",
+		Workloads: []string{"bitcount", "randacc"},
+		Points:    []Point{{Label: "base", Config: paradet.DefaultConfig()}},
+		Scheme:    SchemeProtected,
+		MaxInstrs: 3000,
+		Parallel:  2,
+	}
+	st, err := resultstore.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ExecuteContext(context.Background(), spec, nil, Options{
+		Store:     st,
+		Telemetry: &TelemetryOptions{Dir: telemDir, Interval: interval},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	series, err := telemetry.LoadDir(telemDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(out.Results) {
+		t.Fatalf("%d sidecars for %d cells", len(series), len(out.Results))
+	}
+	byFP := map[string]*telemetry.Series{}
+	for _, s := range series {
+		byFP[s.Header.Fingerprint] = s
+	}
+	for i := range out.Results {
+		r := &out.Results[i]
+		fp := resultstore.Key{Workload: r.Workload, Scheme: string(r.Scheme), Config: r.Config}.Fingerprint()
+		s := byFP[fp]
+		if s == nil {
+			t.Fatalf("cell %s: no sidecar named by its fingerprint %s", r.Workload, fp)
+		}
+		if err := telemetry.Reconcile(s); err != nil {
+			t.Errorf("cell %s: %v", r.Workload, err)
+		}
+		if s.Header.Instructions != r.Res.Instructions {
+			t.Errorf("cell %s: sidecar instrs %d != result instrs %d",
+				r.Workload, s.Header.Instructions, r.Res.Instructions)
+		}
+		if want := r.Res.Instructions / interval; s.Header.TotalSamples != want {
+			t.Errorf("cell %s: %d samples, want %d", r.Workload, s.Header.TotalSamples, want)
+		}
+		if s.Header.Workload != r.Workload || s.Header.Scheme != string(SchemeProtected) {
+			t.Errorf("cell %s: sidecar identity wrong: %+v", r.Workload, s.Header)
+		}
+		if s.Header.EntriesLogged == 0 || s.Header.Checkpoints == 0 {
+			t.Errorf("cell %s: detector-side fields never filled: %+v", r.Workload, s.Header)
+		}
+	}
+
+	// Zero drift: the same spec without telemetry produces identical
+	// results.
+	plain, err := Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := snapshot(t, out.Results), snapshot(t, plain.Results); a != b {
+		t.Error("telemetry changed simulation results")
+	}
+
+	// Warm store: every cell is served, nothing simulates, and no new
+	// sidecars appear.
+	telemDir2 := filepath.Join(dir, "telemetry2")
+	st2, _ := resultstore.Open(filepath.Join(dir, "store"))
+	out2, err := ExecuteContext(context.Background(), spec, nil, Options{
+		Store:     st2,
+		Telemetry: &TelemetryOptions{Dir: telemDir2, Interval: interval},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Stats.CellSims != 0 {
+		t.Errorf("warm store simulated %d cells", out2.Stats.CellSims)
+	}
+	if _, err := os.Stat(telemDir2); !os.IsNotExist(err) {
+		t.Errorf("warm run created sidecars (stat err %v); telemetry must never force re-simulation", err)
+	}
+}
+
+// TestTelemetryNeedsDir: enabling telemetry without a sidecar
+// directory is a spec-level error.
+func TestTelemetryNeedsDir(t *testing.T) {
+	spec := Spec{
+		Name:      "telemetry-nodir",
+		Workloads: []string{"bitcount"},
+		Points:    []Point{{Label: "base", Config: paradet.DefaultConfig()}},
+		Scheme:    SchemeProtected,
+		MaxInstrs: 1000,
+	}
+	if _, err := ExecuteContext(context.Background(), spec, nil, Options{Telemetry: &TelemetryOptions{}}); err == nil {
+		t.Fatal("telemetry without a directory accepted")
+	}
+}
+
+// TestTelemetryFallback: a Simulator that does not implement
+// TelemetrySimulator still runs (without sidecars) when telemetry is
+// requested, so test fakes and alternative backends keep working.
+func TestTelemetryFallback(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{
+		Name:      "telemetry-fallback",
+		Workloads: []string{"bitcount"},
+		Points:    []Point{{Label: "base", Config: paradet.DefaultConfig()}},
+		Scheme:    SchemeProtected,
+		MaxInstrs: 1000,
+	}
+	sim := newTrackingSim()
+	out, err := ExecuteContext(context.Background(), spec, sim, Options{
+		Telemetry: &TelemetryOptions{Dir: filepath.Join(dir, "telemetry")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := sim.total(); n == 0 {
+		t.Error("fallback simulator never ran")
+	}
+}

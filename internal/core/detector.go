@@ -5,6 +5,7 @@ import (
 
 	"paradet/internal/isa"
 	"paradet/internal/mem"
+	"paradet/internal/obs/telemetry"
 	"paradet/internal/sim"
 	"paradet/internal/stats"
 )
@@ -434,6 +435,24 @@ func (d *Detector) Errors() []*ErrorReport { return d.allErrors }
 
 // Segments exposes the segment array for tests and inspection.
 func (d *Detector) Segments() []*Segment { return d.segs }
+
+// TelemetryFill writes the detector's contribution into a telemetry
+// sample: filling-segment occupancy, segments under check, and the
+// cumulative checkpoint/log-entry counters. Called only at sample
+// time (never on the per-instruction path).
+func (d *Detector) TelemetryFill(s *telemetry.Sample) {
+	s.SegEntries = len(d.segs[d.cur].Entries)
+	s.SegCapacity = d.capacity
+	checking := 0
+	for _, seg := range d.segs {
+		if seg.State == SegChecking {
+			checking++
+		}
+	}
+	s.SegsChecking = checking
+	s.Checkpoints = d.stats.Checkpoints
+	s.EntriesLogged = d.stats.EntriesLogged
+}
 
 // lfu models the load forwarding unit (§IV-C): a table as large as the
 // reorder buffer into which load values are duplicated as soon as they

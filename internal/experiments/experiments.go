@@ -44,6 +44,11 @@ type Options struct {
 	// shard owns are simply absent, and the full figures come from
 	// re-running unsharded against the merged store.
 	Shard *campaign.Shard
+	// Telemetry, when non-nil, writes per-cell interval telemetry
+	// sidecars for every simulated protected cell
+	// (cmd/experiments -telemetry). Out-of-band: stdout and stored
+	// results are unchanged.
+	Telemetry *campaign.TelemetryOptions
 }
 
 func (o Options) workloads() []string {
@@ -101,9 +106,10 @@ func (o Options) execute(spec campaign.Spec) (*campaign.Outcome, error) {
 		ctx = context.Background()
 	}
 	out, err := campaign.ExecuteContext(ctx, spec, nil, campaign.Options{
-		Store:    o.Store,
-		Progress: o.Progress,
-		Shard:    o.Shard,
+		Store:     o.Store,
+		Progress:  o.Progress,
+		Shard:     o.Shard,
+		Telemetry: o.Telemetry,
 	})
 	if err != nil {
 		return nil, err

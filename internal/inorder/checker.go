@@ -111,6 +111,13 @@ func (c *Checker) Hooks() *isa.Hooks { return &c.m.Hooks }
 // Busy implements core.Checker.
 func (c *Checker) Busy() bool { return c.seg != nil }
 
+// TelemetrySnapshot reports the checker's contribution to a telemetry
+// sample: whether a segment check is in flight, and the cumulative
+// count of re-executed instructions. Called only at sample time.
+func (c *Checker) TelemetrySnapshot() (busy bool, instrs uint64) {
+	return c.seg != nil, c.stats.Instructions
+}
+
 // StartCheck implements core.Checker: accept a sealed segment, reset the
 // architectural state to the start checkpoint, and wake at `at` plus the
 // pipeline-fill cost.

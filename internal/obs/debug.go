@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -82,5 +83,19 @@ func (d *DebugServer) URL() string {
 	return "http://" + net.JoinHostPort(host, port)
 }
 
-// Close stops the server and releases the listener.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// closeGrace bounds how long Close waits for in-flight requests.
+// A scrape or /progress snapshot finishes in milliseconds; anything
+// still running after this is torn down hard.
+const closeGrace = 2 * time.Second
+
+// Close stops the server and releases the listener, letting in-flight
+// requests (a /metrics scrape racing teardown) finish their response
+// bodies within a short grace period before any stragglers are cut.
+func (d *DebugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return d.srv.Close()
+	}
+	return nil
+}

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -61,6 +63,69 @@ func TestDebugServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := http.Get(srv.URL() + "/metrics"); err == nil {
+		t.Error("server still answering after Close")
+	}
+}
+
+// TestDebugServerCloseGraceful: Close must let an in-flight request
+// finish its body instead of cutting the connection mid-response
+// (regression test for the old hard srv.Close). The progress provider
+// blocks until Close has been initiated, so the request is provably
+// in flight when shutdown starts.
+func TestDebugServerCloseGraceful(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := StartDebug("127.0.0.1:0", NewRegistry(), func() any {
+		close(inHandler)
+		<-release
+		return map[string]string{"state": "complete"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type reply struct {
+		body string
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/progress")
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- reply{body: string(body), err: err}
+	}()
+
+	<-inHandler
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// Shutdown closes the listener before draining: once new
+	// connections are refused, Close is provably waiting on the
+	// still-blocked handler.
+	for {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			break
+		}
+		conn.Close()
+		time.Sleep(time.Millisecond)
+	}
+	release <- struct{}{}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request dropped during Close: %v", r.err)
+	}
+	if !strings.Contains(r.body, "complete") {
+		t.Fatalf("in-flight response truncated: %q", r.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get(srv.URL() + "/progress"); err == nil {
 		t.Error("server still answering after Close")
 	}
 }

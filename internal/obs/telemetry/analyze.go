@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Attribution is one cell's whole-run stall attribution, computed
+// from sidecar header totals (so it is exact even when the ring
+// dropped early samples). Cycle-based stall causes are fractions of
+// total main-core cycles; the checkpoint cause is a fraction of total
+// simulated time, since commit blocks are expressed as a time horizon
+// rather than counted in cycles.
+type Attribution struct {
+	Fingerprint string
+	Workload    string
+	Point       string
+	Scheme      string
+
+	Instructions uint64
+	Cycles       uint64
+	TimeNS       float64
+	Samples      uint64 // total recorded (not just kept)
+	Kept         int
+	Interval     uint64
+
+	IPC             float64 // whole-run instructions per cycle
+	MispredictPerKI float64 // mispredicts per 1000 instructions
+
+	LogFullFrac    float64 // commit stalled, log segment full
+	CheckpointFrac float64 // commit blocked on checkpoint draining
+	ICacheFrac     float64 // fetch stalled on icache miss
+	RenameFrac     float64 // rename stalled on free-list exhaustion
+
+	Checkpoints   uint64
+	EntriesLogged uint64
+	CheckerInstrs uint64
+}
+
+// Attribute reduces one series to its whole-run attribution.
+func Attribute(s *Series) Attribution {
+	h := s.Header
+	a := Attribution{
+		Fingerprint:   h.Fingerprint,
+		Workload:      h.Workload,
+		Point:         h.Point,
+		Scheme:        h.Scheme,
+		Instructions:  h.Instructions,
+		Cycles:        h.Cycles,
+		TimeNS:        h.TimeNS,
+		Samples:       h.TotalSamples,
+		Kept:          h.Kept,
+		Interval:      h.Interval,
+		Checkpoints:   h.Checkpoints,
+		EntriesLogged: h.EntriesLogged,
+		CheckerInstrs: h.CheckerInstrs,
+	}
+	if h.Cycles > 0 {
+		a.IPC = float64(h.Instructions) / float64(h.Cycles)
+		a.LogFullFrac = float64(h.LogFullStallCycles) / float64(h.Cycles)
+		a.ICacheFrac = float64(h.ICacheStallCycles) / float64(h.Cycles)
+		a.RenameFrac = float64(h.RenameStallCycles) / float64(h.Cycles)
+	}
+	if h.TimeNS > 0 {
+		a.CheckpointFrac = h.CheckpointStallNS / h.TimeNS
+	}
+	if h.Instructions > 0 {
+		a.MispredictPerKI = 1000 * float64(h.Mispredicts) / float64(h.Instructions)
+	}
+	return a
+}
+
+// Reconcile checks the sidecar's internal accounting: the recorded
+// sample total must equal floor(instructions/interval) — the probe
+// fires exactly on each interval boundary — and the kept samples must
+// be cumulative (monotone) and consistent with the header totals.
+func Reconcile(s *Series) error {
+	h := s.Header
+	if h.Interval == 0 {
+		return fmt.Errorf("telemetry: %s: zero interval", h.Fingerprint)
+	}
+	if want := h.Instructions / h.Interval; h.TotalSamples != want {
+		return fmt.Errorf("telemetry: %s: %d samples recorded, want %d (= %d instrs / %d interval)",
+			h.Fingerprint, h.TotalSamples, want, h.Instructions, h.Interval)
+	}
+	var prev *Sample
+	for i := range s.Samples {
+		smp := &s.Samples[i]
+		if prev != nil {
+			if smp.Instructions != prev.Instructions+h.Interval {
+				return fmt.Errorf("telemetry: %s: sample %d at %d instrs, previous at %d, interval %d",
+					h.Fingerprint, i, smp.Instructions, prev.Instructions, h.Interval)
+			}
+			if smp.Cycles < prev.Cycles || smp.TimeNS < prev.TimeNS {
+				return fmt.Errorf("telemetry: %s: sample %d not monotone", h.Fingerprint, i)
+			}
+		}
+		prev = smp
+	}
+	if n := len(s.Samples); n > 0 {
+		last := s.Samples[n-1]
+		if last.Instructions != h.Instructions || last.Cycles != h.Cycles {
+			return fmt.Errorf("telemetry: %s: last sample (%d instrs, %d cycles) disagrees with header (%d, %d)",
+				h.Fingerprint, last.Instructions, last.Cycles, h.Instructions, h.Cycles)
+		}
+	}
+	return nil
+}
+
+// RankByLogFull sorts attributions worst-first by time spent
+// log-full-stalled — the straggler ranking: cells whose commit is
+// gated on the load-store log are the ones a bigger log or more
+// checkers would speed up.
+func RankByLogFull(as []Attribution) {
+	sort.SliceStable(as, func(i, j int) bool {
+		if as[i].LogFullFrac != as[j].LogFullFrac {
+			return as[i].LogFullFrac > as[j].LogFullFrac
+		}
+		return as[i].Fingerprint < as[j].Fingerprint
+	})
+}
+
+// Phase is an aggregate over one contiguous window of samples:
+// per-interval rates averaged across the window, plus mean
+// occupancies. Rates are computed from cumulative-counter deltas
+// between the window's first and last samples.
+type Phase struct {
+	From, To     uint64 // instruction range (exclusive of From)
+	IPC          float64
+	LogFullFrac  float64
+	CkptFrac     float64
+	ICacheFrac   float64
+	RenameFrac   float64
+	MeanROB      float64
+	MeanSeg      float64 // mean filling-segment occupancy, fraction of capacity
+	MeanCheckers float64
+}
+
+// Phases splits the kept samples into up to n equal windows and
+// aggregates each. Deltas are taken against the preceding sample
+// (or zero for the first kept sample, which is correct only when the
+// ring has not dropped samples; after overflow the first window's
+// rates start from the oldest kept sample instead).
+func Phases(s *Series, n int) []Phase {
+	if n <= 0 || len(s.Samples) == 0 {
+		return nil
+	}
+	if n > len(s.Samples) {
+		n = len(s.Samples)
+	}
+	var out []Phase
+	for w := 0; w < n; w++ {
+		lo, hi := w*len(s.Samples)/n, (w+1)*len(s.Samples)/n
+		if lo >= hi {
+			continue
+		}
+		first, last := s.Samples[lo], s.Samples[hi-1]
+		base := Sample{}
+		if lo > 0 {
+			base = s.Samples[lo-1]
+		} else if s.Header.TotalSamples > uint64(len(s.Samples)) {
+			// Ring overflowed: the oldest kept sample is the only
+			// baseline available for the first window.
+			base = first
+		}
+		p := Phase{From: base.Instructions, To: last.Instructions}
+		dI := float64(last.Instructions - base.Instructions)
+		dC := float64(last.Cycles - base.Cycles)
+		dT := last.TimeNS - base.TimeNS
+		if dC > 0 {
+			p.IPC = dI / dC
+			p.LogFullFrac = float64(last.LogFullStallCycles-base.LogFullStallCycles) / dC
+			p.ICacheFrac = float64(last.ICacheStallCycles-base.ICacheStallCycles) / dC
+			p.RenameFrac = float64(last.RenameStallCycles-base.RenameStallCycles) / dC
+		}
+		if dT > 0 {
+			p.CkptFrac = (last.CheckpointStallNS - base.CheckpointStallNS) / dT
+		}
+		var rob, seg, chk float64
+		for i := lo; i < hi; i++ {
+			smp := s.Samples[i]
+			rob += float64(smp.ROB)
+			if smp.SegCapacity > 0 {
+				seg += float64(smp.SegEntries) / float64(smp.SegCapacity)
+			}
+			chk += float64(smp.CheckersBusy)
+		}
+		cnt := float64(hi - lo)
+		p.MeanROB, p.MeanSeg, p.MeanCheckers = rob/cnt, seg/cnt, chk/cnt
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SidecarVersion is the sidecar file schema version. The schema is
+// grow-only: new fields may be added with omitempty, existing fields
+// keep their meaning.
+const SidecarVersion = 1
+
+// SidecarDirName is the directory holding telemetry sidecars,
+// conventionally created next to (inside) a result store directory.
+const SidecarDirName = "telemetry"
+
+// Header is the first line of a sidecar file: run identity plus the
+// whole-run totals, so attribution over the full run never depends on
+// the ring having kept every sample.
+type Header struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fp,omitempty"`
+	Workload    string `json:"workload,omitempty"`
+	Point       string `json:"point,omitempty"`
+	Scheme      string `json:"scheme,omitempty"`
+
+	Interval     uint64 `json:"interval"`
+	TotalSamples uint64 `json:"total_samples"`
+	Kept         int    `json:"kept"` // samples following this header
+
+	// Final whole-run totals, copied from the last state the probe saw.
+	Instructions       uint64  `json:"instrs"`
+	Cycles             uint64  `json:"cycles"`
+	TimeNS             float64 `json:"t_ns"`
+	Branches           uint64  `json:"branches"`
+	Mispredicts        uint64  `json:"mispredicts"`
+	LogFullStallCycles uint64  `json:"stall_logfull"`
+	CheckpointStallNS  float64 `json:"stall_ckpt_ns"`
+	ICacheStallCycles  uint64  `json:"stall_icache"`
+	RenameStallCycles  uint64  `json:"stall_rename"`
+	Checkpoints        uint64  `json:"ckpts"`
+	EntriesLogged      uint64  `json:"entries"`
+	CheckerInstrs      uint64  `json:"chk_instrs"`
+}
+
+// Series is one decoded sidecar: a header and the retained samples,
+// oldest first.
+type Series struct {
+	Header  Header
+	Samples []Sample
+}
+
+// Finalize copies whole-run totals into the header from the probe's
+// most recent sample and sets the sample-accounting fields. Identity
+// fields (fingerprint, workload, point, scheme) are the caller's.
+func (h *Header) Finalize(p *Probe) {
+	h.Version = SidecarVersion
+	h.Interval = p.Interval()
+	h.TotalSamples = p.Total()
+	h.Kept = p.n
+	if p.n == 0 {
+		return
+	}
+	last := p.ring[(p.head+p.n-1)%len(p.ring)]
+	h.Instructions = last.Instructions
+	h.Cycles = last.Cycles
+	h.TimeNS = last.TimeNS
+	h.Branches = last.Branches
+	h.Mispredicts = last.Mispredicts
+	h.LogFullStallCycles = last.LogFullStallCycles
+	h.CheckpointStallNS = last.CheckpointStallNS
+	h.ICacheStallCycles = last.ICacheStallCycles
+	h.RenameStallCycles = last.RenameStallCycles
+	h.Checkpoints = last.Checkpoints
+	h.EntriesLogged = last.EntriesLogged
+	h.CheckerInstrs = last.CheckerInstrs
+}
+
+// Write renders the series as JSONL: one header line followed by one
+// line per sample, oldest first.
+func (s *Series) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&s.Header); err != nil {
+		return fmt.Errorf("telemetry: encode header: %w", err)
+	}
+	for i := range s.Samples {
+		if err := enc.Encode(&s.Samples[i]); err != nil {
+			return fmt.Errorf("telemetry: encode sample: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the series to dir/<fingerprint>.jsonl atomically
+// (temp file + rename), creating dir if needed. The fingerprint comes
+// from the header; it must be a bare hex name, no path separators.
+func (s *Series) WriteFile(dir string) (string, error) {
+	if s.Header.Fingerprint == "" || strings.ContainsAny(s.Header.Fingerprint, `/\`) {
+		return "", fmt.Errorf("telemetry: bad sidecar fingerprint %q", s.Header.Fingerprint)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("telemetry: %w", err)
+	}
+	path := filepath.Join(dir, s.Header.Fingerprint+".jsonl")
+	tmp, err := os.CreateTemp(dir, ".tmp-*.jsonl")
+	if err != nil {
+		return "", fmt.Errorf("telemetry: %w", err)
+	}
+	if err := s.Write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("telemetry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("telemetry: %w", err)
+	}
+	return path, nil
+}
+
+// Read decodes one sidecar stream.
+func Read(r io.Reader) (*Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		return nil, fmt.Errorf("telemetry: empty sidecar")
+	}
+	var s Series
+	if err := json.Unmarshal(sc.Bytes(), &s.Header); err != nil {
+		return nil, fmt.Errorf("telemetry: header: %w", err)
+	}
+	if s.Header.Version <= 0 || s.Header.Version > SidecarVersion {
+		return nil, fmt.Errorf("telemetry: unsupported sidecar version %d", s.Header.Version)
+	}
+	s.Samples = make([]Sample, 0, s.Header.Kept)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var smp Sample
+		if err := json.Unmarshal(sc.Bytes(), &smp); err != nil {
+			return nil, fmt.Errorf("telemetry: sample %d: %w", len(s.Samples), err)
+		}
+		s.Samples = append(s.Samples, smp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	if s.Header.Kept != len(s.Samples) {
+		return nil, fmt.Errorf("telemetry: header says %d samples, file has %d",
+			s.Header.Kept, len(s.Samples))
+	}
+	return &s, nil
+}
+
+// ReadFile decodes one sidecar file.
+func ReadFile(path string) (*Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return s, nil
+}
+
+// LoadDir reads every *.jsonl sidecar under dir, sorted by file name
+// (i.e. by fingerprint) for deterministic output.
+func LoadDir(dir string) ([]*Series, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".jsonl") && !strings.HasPrefix(e.Name(), ".") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]*Series, 0, len(names))
+	for _, n := range names {
+		s, err := ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+
+	"paradet/internal/obs/telemetry"
+)
+
+// TelemetryTracks renders one cell's telemetry series into a trace as
+// Perfetto counter tracks under the given process id. The time axis is
+// simulated time (microseconds), matching nothing else in the trace —
+// callers give each cell its own pid so the axes don't mix with the
+// wall-clock shard lanes.
+//
+// Tracks per cell: "ipc" (per-interval), "stall cycles" (per-interval
+// log-full / icache / rename stall cycles, stacked), "checkpoint
+// stall us" (per-interval), "occupancy" (ROB / IQ / SQ / fetch queue,
+// instantaneous), "log" (filling-segment entries and segments under
+// check), and "checkers busy". Per-interval rates are deltas between
+// consecutive retained samples; the first retained sample seeds the
+// baseline and emits only instantaneous tracks.
+func TelemetryTracks(t *Trace, pid int, s *telemetry.Series) {
+	h := s.Header
+	name := fmt.Sprintf("telemetry %s/%s %s", h.Workload, h.Point, shortFP(h.Fingerprint))
+	t.ProcessName(pid, name)
+	var prev *telemetry.Sample
+	for i := range s.Samples {
+		smp := &s.Samples[i]
+		ts := int64(smp.TimeNS / 1000)
+		if prev != nil {
+			dc := float64(smp.Cycles - prev.Cycles)
+			if dc > 0 {
+				t.Counter(pid, "ipc", ts, map[string]float64{
+					"ipc": float64(smp.Instructions-prev.Instructions) / dc,
+				})
+			}
+			t.Counter(pid, "stall cycles", ts, map[string]float64{
+				"logfull": float64(smp.LogFullStallCycles - prev.LogFullStallCycles),
+				"icache":  float64(smp.ICacheStallCycles - prev.ICacheStallCycles),
+				"rename":  float64(smp.RenameStallCycles - prev.RenameStallCycles),
+			})
+			t.Counter(pid, "checkpoint stall us", ts, map[string]float64{
+				"ckpt": (smp.CheckpointStallNS - prev.CheckpointStallNS) / 1000,
+			})
+		}
+		t.Counter(pid, "occupancy", ts, map[string]float64{
+			"rob":    float64(smp.ROB),
+			"iq":     float64(smp.IQ),
+			"sq":     float64(smp.SQ),
+			"fetchq": float64(smp.FetchQ),
+		})
+		t.Counter(pid, "log", ts, map[string]float64{
+			"seg_entries":   float64(smp.SegEntries),
+			"segs_checking": float64(smp.SegsChecking),
+		})
+		t.Counter(pid, "checkers busy", ts, map[string]float64{
+			"busy": float64(smp.CheckersBusy),
+		})
+		prev = smp
+	}
+}
+
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"paradet/internal/obs/telemetry"
+)
+
+// TestTelemetryTracks renders a synthetic two-sample series and
+// validates the Perfetto-loadable shape: one process_name metadata
+// event, counter events only, numeric args, monotone timestamps, and
+// per-interval tracks appearing only from the second sample on.
+func TestTelemetryTracks(t *testing.T) {
+	s := &telemetry.Series{
+		Header: telemetry.Header{
+			Version: telemetry.SidecarVersion, Fingerprint: "abcdef0123456789",
+			Workload: "stream", Point: "p3", Scheme: "protected",
+		},
+		Samples: []telemetry.Sample{
+			{Instructions: 1000, Cycles: 900, TimeNS: 281250, ROB: 12, SegEntries: 40},
+			{Instructions: 2000, Cycles: 2100, TimeNS: 656250, ROB: 38,
+				LogFullStallCycles: 600, SegEntries: 120, CheckersBusy: 2},
+		},
+	}
+	tr := NewTrace()
+	TelemetryTracks(tr, 1000, s)
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]int{}
+	var ipc float64
+	for i, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "process_name" {
+				t.Errorf("event %d: bad metadata %+v", i, e)
+			}
+		case "C":
+			if e.PID != 1000 || e.TS < 0 {
+				t.Errorf("event %d: bad counter %+v", i, e)
+			}
+			for k, v := range e.Args {
+				if _, ok := v.(float64); !ok {
+					t.Errorf("event %d: arg %q is not numeric: %v", i, k, v)
+				}
+			}
+			counters[e.Name]++
+			if e.Name == "ipc" {
+				ipc = e.Args["ipc"].(float64)
+			}
+		default:
+			t.Errorf("event %d: unexpected ph %q in telemetry tracks", i, e.Ph)
+		}
+	}
+	// Instantaneous tracks per sample, per-interval tracks per delta.
+	for name, want := range map[string]int{
+		"occupancy": 2, "log": 2, "checkers busy": 2,
+		"ipc": 1, "stall cycles": 1, "checkpoint stall us": 1,
+	} {
+		if counters[name] != want {
+			t.Errorf("track %q: %d events, want %d", name, counters[name], want)
+		}
+	}
+	if want := 1000.0 / 1200.0; ipc < want-1e-9 || ipc > want+1e-9 {
+		t.Errorf("ipc delta = %v, want %v", ipc, want)
+	}
+}

@@ -98,7 +98,28 @@ func (t *Trace) Slice(pid int, name string, startUS, durUS int64, args map[strin
 	})
 }
 
-// Len reports the number of duration slices recorded so far.
+// Counter records one sample of a named counter track ("ph":"C").
+// Perfetto renders each distinct (pid, name) pair as its own track,
+// plotting every key of values as a series; multiple keys stack.
+// Counter events carry no duration and live outside the slice-lane
+// allocator (tid 0 by convention).
+func (t *Trace) Counter(pid int, name string, tsUS int64, values map[string]float64) {
+	if tsUS < 0 {
+		tsUS = 0
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Ph: "C", TS: tsUS, PID: pid, Args: args,
+	})
+}
+
+// Len reports the number of events recorded so far (duration slices
+// plus counter samples; metadata is not counted).
 func (t *Trace) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()

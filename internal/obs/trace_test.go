@@ -92,6 +92,87 @@ func TestTraceSchemaValid(t *testing.T) {
 	}
 }
 
+// TestCounterTrackSchemaGolden pins the exact bytes of a trace
+// carrying Perfetto counter tracks ("ph":"C"): map keys marshal
+// sorted, so the output is deterministic, and any schema drift (field
+// rename, indent change, event reordering) breaks this golden.
+// The shape is what ui.perfetto.dev loads as per-process counter
+// tracks with stacked series per args key.
+func TestCounterTrackSchemaGolden(t *testing.T) {
+	tr := NewTrace()
+	tr.ProcessName(7, "telemetry stream/p2 deadbeef0123")
+	tr.Counter(7, "ipc", 125, map[string]float64{"ipc": 1.5})
+	tr.Counter(7, "stall cycles", 125, map[string]float64{"logfull": 3, "icache": 1, "rename": 0})
+	tr.Counter(7, "occupancy", 250, map[string]float64{"rob": 38, "iq": 12, "sq": 4, "fetchq": 9})
+	tr.Counter(7, "ipc", -5, nil) // negative ts clamps, nil values legal
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+ "traceEvents": [
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 7,
+   "tid": 0,
+   "args": {
+    "name": "telemetry stream/p2 deadbeef0123"
+   }
+  },
+  {
+   "name": "ipc",
+   "ph": "C",
+   "ts": 0,
+   "pid": 7,
+   "tid": 0
+  },
+  {
+   "name": "ipc",
+   "ph": "C",
+   "ts": 125,
+   "pid": 7,
+   "tid": 0,
+   "args": {
+    "ipc": 1.5
+   }
+  },
+  {
+   "name": "stall cycles",
+   "ph": "C",
+   "ts": 125,
+   "pid": 7,
+   "tid": 0,
+   "args": {
+    "icache": 1,
+    "logfull": 3,
+    "rename": 0
+   }
+  },
+  {
+   "name": "occupancy",
+   "ph": "C",
+   "ts": 250,
+   "pid": 7,
+   "tid": 0,
+   "args": {
+    "fetchq": 9,
+    "iq": 12,
+    "rob": 38,
+    "sq": 4
+   }
+  }
+ ],
+ "displayTimeUnit": "ms"
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("counter-track JSON drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
 // TestTraceConcurrent exercises the lane allocator under concurrent
 // Slice calls (run with -race in CI).
 func TestTraceConcurrent(t *testing.T) {

@@ -27,6 +27,7 @@ import (
 	"paradet/internal/branch"
 	"paradet/internal/isa"
 	"paradet/internal/mem"
+	"paradet/internal/obs/telemetry"
 	"paradet/internal/sim"
 )
 
@@ -236,6 +237,13 @@ type Core struct {
 	// Commit.
 	commitBlockedTil sim.Time
 
+	// Telemetry. probeNext is the committed-instruction count at which
+	// the next sample fires; with no probe attached it is MaxUint64, so
+	// the disabled cost on the commit path is a single compare that
+	// never takes the branch.
+	probe     *telemetry.Probe
+	probeNext uint64
+
 	stats Stats
 	done  bool
 }
@@ -265,7 +273,44 @@ func New(cfg Config, trace TraceSource, icache, dcache *mem.Cache, bp *branch.Pr
 		tailID:      1,
 		intRegsFree: cfg.IntPhysRegs - isa.NumIntRegs,
 		fpRegsFree:  cfg.FPPhysRegs - isa.NumFPRegs,
+		probeNext:   ^uint64(0),
 	}
+}
+
+// AttachProbe arms interval telemetry sampling: every p.Interval()
+// committed instructions the core records a telemetry.Sample. A nil
+// probe disarms sampling. Must be called before the first Tick.
+func (c *Core) AttachProbe(p *telemetry.Probe) {
+	c.probe = p
+	if p == nil {
+		c.probeNext = ^uint64(0)
+		return
+	}
+	c.probeNext = p.Interval()
+}
+
+// probeSample records one telemetry sample at the current committed-
+// instruction boundary. Core-visible fields are filled here; detector
+// and checker-cluster fields are filled by the probe's Extra hook,
+// composed by the system builder.
+func (c *Core) probeSample(now sim.Time) {
+	c.probe.Record(telemetry.Sample{
+		Instructions:       c.stats.Instructions,
+		Cycles:             c.stats.Cycles,
+		TimeNS:             now.Nanoseconds(),
+		ROB:                int(c.tailID - c.headID),
+		IQ:                 c.iqCount,
+		LQ:                 c.lqCount,
+		SQ:                 c.sqCount,
+		FetchQ:             c.fqLen,
+		Branches:           c.stats.Branches,
+		Mispredicts:        c.stats.Mispredicts,
+		LogFullStallCycles: c.stats.LogFullStallCycles,
+		CheckpointStallNS:  c.stats.CheckpointStall.Nanoseconds(),
+		ICacheStallCycles:  c.stats.FetchStallICache,
+		RenameStallCycles:  c.stats.RenameStallCycles,
+	})
+	c.probeNext += c.probe.Interval()
 }
 
 // Stats returns a copy of the counters.
@@ -328,6 +373,9 @@ func (c *Core) commit(now sim.Time) {
 		c.retire(e, now)
 		budget -= uops
 		c.headID++
+		if c.stats.Instructions >= c.probeNext {
+			c.probeSample(now)
+		}
 		if now < c.commitBlockedTil {
 			return // checkpoint pause blocks the rest of this cycle too
 		}

@@ -22,6 +22,7 @@ import (
 
 	"paradet/internal/campaign"
 	"paradet/internal/obs"
+	"paradet/internal/obs/telemetry"
 	"paradet/internal/resultstore"
 )
 
@@ -158,6 +159,9 @@ type Report struct {
 	// Cells, Hits and Sims are the assembly pass's final counters;
 	// Sims is always 0 on success (the orchestrator fails otherwise).
 	Cells, Hits, Sims int
+	// Sidecars is the number of telemetry sidecars forwarded from
+	// shard stores into the merged store (0 when telemetry was off).
+	Sidecars int
 }
 
 // Retried totals the extra launches that paid for failures: relaunches
@@ -338,6 +342,22 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 		return rep, fmt.Errorf("orchestrator: merge: %w", err)
 	}
 
+	// Forward telemetry sidecars from every source store (shards plus
+	// duplicate attempts) into the merged store, so pdreport and the
+	// trace exporter see the whole sweep in one directory. Sidecars are
+	// fingerprint-named and simulations are deterministic, so same-name
+	// collisions are identical files; first copy wins.
+	if n, err := forwardSidecars(o.mergedDir(), srcs); err != nil {
+		fmt.Fprintln(stderr, "orchestrator: telemetry forward:", err)
+	} else if n > 0 {
+		rep.Sidecars = n
+		fmt.Fprintf(stderr, "orchestrator: forwarded %d telemetry sidecar(s) into %s\n",
+			n, filepath.Join(o.mergedDir(), telemetry.SidecarDirName))
+		if obs.Enabled() {
+			obs.Emit(obs.Entry{Event: "telemetry_forward", Count: n})
+		}
+	}
+
 	// Optionally pack the merged store before assembly. Compaction
 	// verifies the published segment before deleting loose cells, and
 	// the assembly pass's zero-simulation contract then re-proves every
@@ -442,6 +462,48 @@ func (o *Options) shardDir(i int) string {
 }
 
 func (o *Options) mergedDir() string { return filepath.Join(o.StoreRoot, "merged") }
+
+// forwardSidecars copies telemetry/*.jsonl from every source store
+// directory into dstStore/telemetry. Missing source directories are
+// normal (telemetry off, or a shard with only warm cells). Files are
+// fingerprint-named, so a name seen twice is the same deterministic
+// content and the first copy wins.
+func forwardSidecars(dstStore string, srcs []*resultstore.Store) (int, error) {
+	dstDir := filepath.Join(dstStore, telemetry.SidecarDirName)
+	copied := 0
+	for _, src := range srcs {
+		srcDir := filepath.Join(src.Dir(), telemetry.SidecarDirName)
+		ents, err := os.ReadDir(srcDir)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return copied, err
+		}
+		for _, ent := range ents {
+			name := ent.Name()
+			if ent.IsDir() || !strings.HasSuffix(name, ".jsonl") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			dst := filepath.Join(dstDir, name)
+			if _, err := os.Stat(dst); err == nil {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(srcDir, name))
+			if err != nil {
+				return copied, err
+			}
+			if err := os.MkdirAll(dstDir, 0o755); err != nil {
+				return copied, err
+			}
+			if err := os.WriteFile(dst, data, 0o644); err != nil {
+				return copied, err
+			}
+			copied++
+		}
+	}
+	return copied, nil
+}
 
 func (o *Options) tailBytes() int {
 	if o.TailBytes > 0 {
