@@ -50,6 +50,7 @@ import (
 	"paradet/internal/campaign"
 	"paradet/internal/experiments"
 	"paradet/internal/obs"
+	"paradet/internal/obs/telemetry"
 	"paradet/internal/orchestrator"
 	"paradet/internal/prof"
 	"paradet/internal/resultstore"
@@ -137,9 +138,9 @@ func main() {
 		opts.Store = st
 	}
 	if *telem {
-		dir := "telemetry"
+		dir := telemetry.SidecarDirName
 		if opts.Store != nil {
-			dir = filepath.Join(opts.Store.Dir(), "telemetry")
+			dir = filepath.Join(opts.Store.Dir(), telemetry.SidecarDirName)
 		}
 		opts.Telemetry = &campaign.TelemetryOptions{Dir: dir, Interval: *telemInterval}
 	} else if *telemInterval != 0 {

@@ -13,6 +13,7 @@
 //	pdreport -dir /tmp/sweep/merged/telemetry
 //	pdreport -store .pdstore -top 5     # only the 5 worst cells
 //	pdreport -store .pdstore -phases 8 -all
+//	pdreport -store .pdstore -top 3 -all   # phase breakdowns for the 3 worst
 //
 // Output is deterministic for a given sidecar directory. A sidecar
 // that fails reconciliation (sample counts inconsistent with its
@@ -23,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -30,26 +32,38 @@ import (
 )
 
 func main() {
-	store := flag.String("store", "", "result store directory; sidecars are read from <store>/telemetry")
-	dir := flag.String("dir", "", "sidecar directory (overrides -store)")
-	top := flag.Int("top", 0, "print only the N worst cells (0 = all)")
-	phases := flag.Int("phases", 4, "windows in each phase breakdown")
-	all := flag.Bool("all", false, "phase breakdown for every cell, not just the worst")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	store := fs.String("store", "", "result store directory; sidecars are read from <store>/telemetry")
+	dir := fs.String("dir", "", "sidecar directory (overrides -store)")
+	top := fs.Int("top", 0, "print only the N worst cells (0 = all)")
+	phases := fs.Int("phases", 4, "windows in each phase breakdown")
+	all := fs.Bool("all", false, "phase breakdown for every shown cell (bounded by -top), not just the worst")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "pdreport:", err)
+		return 1
+	}
 
 	src := *dir
 	if src == "" {
 		if *store == "" {
-			fail(fmt.Errorf("need -store or -dir (where are the sidecars?)"))
+			return fail(fmt.Errorf("need -store or -dir (where are the sidecars?)"))
 		}
 		src = filepath.Join(*store, telemetry.SidecarDirName)
 	}
 	series, err := telemetry.LoadDir(src)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if len(series) == 0 {
-		fail(fmt.Errorf("no sidecars under %s (was the campaign run with -telemetry?)", src))
+		return fail(fmt.Errorf("no sidecars under %s (was the campaign run with -telemetry?)", src))
 	}
 
 	// Reconcile everything first: a sidecar whose sample accounting
@@ -59,7 +73,7 @@ func main() {
 	byFP := make(map[string]*telemetry.Series, len(series))
 	for _, s := range series {
 		if err := telemetry.Reconcile(s); err != nil {
-			fmt.Fprintln(os.Stderr, "pdreport:", err)
+			fmt.Fprintln(stderr, "pdreport:", err)
 			bad++
 			continue
 		}
@@ -68,31 +82,33 @@ func main() {
 	}
 	telemetry.RankByLogFull(attrs)
 
-	fmt.Printf("telemetry: %d cell(s) under %s", len(series), src)
+	fmt.Fprintf(stdout, "telemetry: %d cell(s) under %s", len(series), src)
 	if bad > 0 {
-		fmt.Printf(" (%d failed reconciliation)", bad)
+		fmt.Fprintf(stdout, " (%d failed reconciliation)", bad)
 	}
-	fmt.Println()
-	fmt.Println()
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout)
 
 	shown := attrs
 	if *top > 0 && *top < len(shown) {
 		shown = shown[:*top]
 	}
-	fmt.Println("stall attribution, worst-first by log-full fraction:")
-	fmt.Printf("  %-28s %-12s %10s %6s %9s %7s %8s %8s %9s\n",
+	fmt.Fprintln(stdout, "stall attribution, worst-first by log-full fraction:")
+	fmt.Fprintf(stdout, "  %-28s %-12s %10s %6s %9s %7s %8s %8s %9s\n",
 		"cell", "fp", "instrs", "IPC", "logfull%", "ckpt%", "icache%", "rename%", "mispr/ki")
 	for i := range shown {
 		a := &shown[i]
-		fmt.Printf("  %-28s %-12s %10d %6.2f %9.2f %7.2f %8.2f %8.2f %9.2f\n",
+		fmt.Fprintf(stdout, "  %-28s %-12s %10d %6.2f %9.2f %7.2f %8.2f %8.2f %9.2f\n",
 			cellName(a), shortFP(a.Fingerprint), a.Instructions, a.IPC,
 			100*a.LogFullFrac, 100*a.CheckpointFrac, 100*a.ICacheFrac, 100*a.RenameFrac,
 			a.MispredictPerKI)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
-	for i := range attrs {
-		a := &attrs[i]
+	// Phase breakdowns cover the same cells as the table above: the
+	// worst, or with -all every *shown* cell — `-top` bounds both.
+	for i := range shown {
+		a := &shown[i]
 		if !*all && i > 0 {
 			break
 		}
@@ -101,20 +117,21 @@ func main() {
 		if len(ph) == 0 {
 			continue
 		}
-		fmt.Printf("phases of %s (%s), %d window(s):\n", cellName(a), shortFP(a.Fingerprint), len(ph))
-		fmt.Printf("  %22s %6s %9s %7s %8s %8s %8s %7s %7s\n",
+		fmt.Fprintf(stdout, "phases of %s (%s), %d window(s):\n", cellName(a), shortFP(a.Fingerprint), len(ph))
+		fmt.Fprintf(stdout, "  %22s %6s %9s %7s %8s %8s %8s %7s %7s\n",
 			"instrs", "IPC", "logfull%", "ckpt%", "icache%", "rename%", "rob", "seg%", "chk")
 		for _, p := range ph {
-			fmt.Printf("  %10d-%-11d %6.2f %9.2f %7.2f %8.2f %8.2f %8.1f %7.1f %7.1f\n",
+			fmt.Fprintf(stdout, "  %10d-%-11d %6.2f %9.2f %7.2f %8.2f %8.2f %8.1f %7.1f %7.1f\n",
 				p.From, p.To, p.IPC, 100*p.LogFullFrac, 100*p.CkptFrac,
 				100*p.ICacheFrac, 100*p.RenameFrac, p.MeanROB, 100*p.MeanSeg, p.MeanCheckers)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if bad > 0 {
-		fail(fmt.Errorf("%d sidecar(s) failed reconciliation", bad))
+		return fail(fmt.Errorf("%d sidecar(s) failed reconciliation", bad))
 	}
+	return 0
 }
 
 // cellName renders one cell's identity: workload/point[scheme].
@@ -134,9 +151,4 @@ func shortFP(fp string) string {
 		return fp[:12]
 	}
 	return fp
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "pdreport:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"paradet/internal/obs/telemetry"
+)
+
+// writeSidecar builds a reconcilable 6-sample series whose log-full
+// stall fraction is logFullPerK/1000 of cycles, and writes it under
+// dir. Distinct fractions make the worst-first ranking deterministic.
+func writeSidecar(t *testing.T, dir, fp, workload string, logFullPerK uint64) {
+	t.Helper()
+	const interval = 1000
+	p := telemetry.New(interval, 16)
+	for k := uint64(1); k <= 6; k++ {
+		p.Record(telemetry.Sample{
+			Instructions:       k * interval,
+			Cycles:             k * 2000,
+			TimeNS:             float64(k) * 1250,
+			LogFullStallCycles: k * 2 * logFullPerK,
+			ROB:                40,
+		})
+	}
+	s := &telemetry.Series{Samples: p.Samples()}
+	s.Header.Fingerprint = fp
+	s.Header.Workload = workload
+	s.Header.Point = "base"
+	s.Header.Scheme = "protected"
+	s.Header.Finalize(p)
+	if _, err := s.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopBoundsPhaseBreakdowns: -all prints a phase breakdown for
+// every *shown* cell — `-top` bounds the breakdowns exactly as it
+// bounds the table. Historically -all walked the full ranking, so
+// `-top 1 -all` printed breakdowns for cells the table never showed.
+func TestTopBoundsPhaseBreakdowns(t *testing.T) {
+	dir := t.TempDir()
+	writeSidecar(t, dir, strings.Repeat("aa", 32), "worstload", 100) // 10% log-full
+	writeSidecar(t, dir, strings.Repeat("bb", 32), "midload", 50)    // 5%
+	writeSidecar(t, dir, strings.Repeat("cc", 32), "coolload", 10)   // 1%
+
+	run2 := func(args ...string) string {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("pdreport %v exited %d: %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	breakdowns := func(out string) int { return strings.Count(out, "phases of ") }
+
+	cases := []struct {
+		name  string
+		args  []string
+		want  int
+		first string // workload the first breakdown must belong to
+	}{
+		{"default: worst cell only", []string{"-dir", dir}, 1, "worstload"},
+		{"-all: every cell", []string{"-dir", dir, "-all"}, 3, "worstload"},
+		{"-top 2: table bounded, worst broken down", []string{"-dir", dir, "-top", "2"}, 1, "worstload"},
+		{"-top 2 -all: breakdowns bounded too", []string{"-dir", dir, "-top", "2", "-all"}, 2, "worstload"},
+		{"-top 1 -all: single breakdown", []string{"-dir", dir, "-top", "1", "-all"}, 1, "worstload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := run2(tc.args...)
+			if got := breakdowns(out); got != tc.want {
+				t.Fatalf("%d phase breakdown(s), want %d:\n%s", got, tc.want, out)
+			}
+			idx := strings.Index(out, "phases of ")
+			if !strings.HasPrefix(out[idx+len("phases of "):], tc.first) {
+				t.Fatalf("first breakdown is not %s:\n%s", tc.first, out[idx:idx+60])
+			}
+		})
+	}
+}
+
+// TestBadSidecarExitsNonzero: a sidecar failing reconciliation is
+// reported and makes pdreport exit 1, without suppressing the report
+// for the healthy cells.
+func TestBadSidecarExitsNonzero(t *testing.T) {
+	dir := t.TempDir()
+	writeSidecar(t, dir, strings.Repeat("aa", 32), "goodload", 10)
+
+	// A lying header: claims more instructions than its samples cover.
+	p := telemetry.New(1000, 16)
+	for k := uint64(1); k <= 3; k++ {
+		p.Record(telemetry.Sample{Instructions: k * 1000, Cycles: k * 2000})
+	}
+	s := &telemetry.Series{Samples: p.Samples()}
+	s.Header.Fingerprint = strings.Repeat("dd", 32)
+	s.Header.Workload = "liarload"
+	s.Header.Finalize(p)
+	s.Header.Instructions += 1000
+	if _, err := s.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d with a malformed sidecar, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "goodload") {
+		t.Error("healthy cell missing from the report")
+	}
+	if !strings.Contains(stdout.String(), "1 failed reconciliation") {
+		t.Error("reconciliation failure not counted in the report")
+	}
+	if !strings.Contains(stderr.String(), "liarload") && !strings.Contains(stderr.String(), "dddd") {
+		t.Errorf("stderr does not identify the bad sidecar: %s", stderr.String())
+	}
+}

@@ -80,6 +80,7 @@ func main() {
 	tick := flag.Duration("tick", time.Second, "minimum interval between progress lines on stderr")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the sweep to this file (open in chrome://tracing or Perfetto): shards as processes, cells as slices")
 	telem := flag.Bool("telemetry", false, "pass -telemetry to every shard worker; sidecars are forwarded into <store-root>/merged/telemetry (use -store-root to keep them) and, with -trace, rendered as per-cell counter tracks")
+	telemInterval := flag.Uint64("telemetry-interval", 0, "with -telemetry, pass -telemetry-interval N (committed instructions between samples) to every shard worker (0 = the workers' default)")
 	obsFlags := obs.Register()
 	flag.Parse()
 
@@ -90,9 +91,14 @@ func main() {
 	if *telem {
 		// Shard workers write sidecars into their own -store dir; the
 		// orchestrator forwards them into the merged store. The assembly
-		// pass inherits the flag too, harmlessly: it is all store hits,
+		// pass inherits the flags too, harmlessly: it is all store hits,
 		// and warm cells never write sidecars.
 		argv = append(argv, "-telemetry")
+		if *telemInterval != 0 {
+			argv = append(argv, "-telemetry-interval", fmt.Sprint(*telemInterval))
+		}
+	} else if *telemInterval != 0 {
+		fail(fmt.Errorf("-telemetry-interval needs -telemetry"))
 	}
 	if *n < 1 {
 		fail(fmt.Errorf("-n must be >= 1, got %d", *n))

@@ -367,32 +367,11 @@ func ExecuteContext(ctx context.Context, spec Spec, sim Simulator, opts Options)
 		progs[name] = loaded{prog: p, info: info, err: err}
 	}
 
-	// Expand the grid workload-major, then point, then fault, so
-	// Results[(i*len(Points)+j)*nf+k] is (Workloads[i], Points[j],
-	// faults[k]). Performance campaigns have one implicit nil fault.
-	var faults []paradet.Fault
-	nf := 1
-	if spec.Faults != nil {
-		faults = spec.Faults.Faults()
-		nf = len(faults)
-	}
-	out := &Outcome{Spec: spec, Shard: opts.Shard, Results: make([]Run, len(spec.Workloads)*len(spec.Points)*nf)}
-	for i, name := range spec.Workloads {
-		for j, pt := range spec.Points {
-			for k := 0; k < nf; k++ {
-				r := &out.Results[(i*len(spec.Points)+j)*nf+k]
-				r.Workload = name
-				r.Point = pt
-				r.Scheme = spec.scheme(pt)
-				l := progs[name]
-				r.Config = resolveConfig(pt.Config, spec.MaxInstrs, l.info)
-				if faults != nil {
-					f := faults[k]
-					r.Fault = &f
-				}
-			}
-		}
-	}
+	// Expand the grid (workload-major, then point, then fault; see
+	// expandGrid). A workload that failed to load resolves against the
+	// zero WorkloadInfo here and records its load error per cell below.
+	out := &Outcome{Spec: spec, Shard: opts.Shard,
+		Results: expandGrid(spec, func(name string) paradet.WorkloadInfo { return progs[name].info })}
 
 	// The shard's strategy maps spec-order cell indices to owners —
 	// round-robin over the index, or cost-weighted over the resolved
@@ -523,21 +502,6 @@ func (e *engine) observe(cell int, r *Run, elapsed time.Duration) {
 	obs.Emit(ent)
 }
 
-// cellKey is the persistent identity of one cell. Protected and fault
-// cells fingerprint the full resolved config; unprotected, lockstep
-// and RMT cells share the reference-run normalisation so they alias
-// memoised baselines.
-func (e *engine) cellKey(r *Run) resultstore.Key {
-	switch {
-	case r.Fault != nil:
-		return resultstore.Key{Workload: r.Workload, Scheme: string(r.Scheme), Config: r.Config, Fault: r.Fault}
-	case r.Scheme == SchemeProtected:
-		return resultstore.Key{Workload: r.Workload, Scheme: string(r.Scheme), Config: r.Config}
-	default:
-		return newBaseKey(r.Config, r.Workload, r.Scheme).storeKey()
-	}
-}
-
 // run simulates (or loads) one cell and, when requested, its shared
 // baseline and slowdown.
 func (e *engine) run(ctx context.Context, r *Run, prog *paradet.Program, withBaseline bool) {
@@ -546,7 +510,7 @@ func (e *engine) run(ctx context.Context, r *Run, prog *paradet.Program, withBas
 		e.runFault(ctx, r, prog)
 		return // golden run doubles as the baseline; slowdown is meaningless
 	case r.Scheme == SchemeProtected:
-		key := e.cellKey(r)
+		key := CellKey(r)
 		if e.store != nil {
 			if cell, ok := e.store.Get(key); ok && cell.Result != nil {
 				e.ctrs.cellHits.Add(1)
@@ -615,7 +579,7 @@ func (e *engine) writeTelemetry(key resultstore.Key, r *Run, probe *telemetry.Pr
 // golden run. The golden run is only simulated on a store miss, so a
 // fully warm store performs zero simulations.
 func (e *engine) runFault(ctx context.Context, r *Run, prog *paradet.Program) {
-	key := e.cellKey(r)
+	key := CellKey(r)
 	if e.store != nil {
 		if cell, ok := e.store.Get(key); ok && cell.FaultRecord != nil {
 			e.ctrs.cellHits.Add(1)

@@ -49,6 +49,9 @@ type Options struct {
 	// (cmd/experiments -telemetry). Out-of-band: stdout and stored
 	// results are unchanged.
 	Telemetry *campaign.TelemetryOptions
+	// Sim executes the sweeps (nil = the real simulator). The serving
+	// layer and tests substitute counting or gating fakes here.
+	Sim campaign.Simulator
 }
 
 func (o Options) workloads() []string {
@@ -105,7 +108,7 @@ func (o Options) execute(spec campaign.Spec) (*campaign.Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out, err := campaign.ExecuteContext(ctx, spec, nil, campaign.Options{
+	out, err := campaign.ExecuteContext(ctx, spec, o.Sim, campaign.Options{
 		Store:     o.Store,
 		Progress:  o.Progress,
 		Shard:     o.Shard,
@@ -457,12 +460,8 @@ var CoreConfigs = []CoreConfig{
 	{"12c@1GHz", 12, 1_000_000_000},
 }
 
-// Fig13 reproduces "slowdown with varying core counts at 1GHz, compared
-// with values for 12 cores at varying frequencies". The per-core log
-// share is held at 3 KiB, as in the paper (total log scales with cores).
-// Paper: N cores at M MHz ≈ 2N cores at M/2; more slower cores win
-// slightly because only n-1 checkers are ever active (§VI-A).
-func Fig13(o Options) ([]CoreRow, error) {
+// corePoints builds the Fig. 13 campaign points from CoreConfigs.
+func corePoints() []campaign.Point {
 	pts := make([]campaign.Point, 0, len(CoreConfigs))
 	for _, cc := range CoreConfigs {
 		cc := cc
@@ -472,7 +471,16 @@ func Fig13(o Options) ([]CoreRow, error) {
 			c.LogBytes = cc.Checkers * 3 * 1024
 		}))
 	}
-	runs, err := o.sweep(o.spec("fig13", pts, true))
+	return pts
+}
+
+// Fig13 reproduces "slowdown with varying core counts at 1GHz, compared
+// with values for 12 cores at varying frequencies". The per-core log
+// share is held at 3 KiB, as in the paper (total log scales with cores).
+// Paper: N cores at M MHz ≈ 2N cores at M/2; more slower cores win
+// slightly because only n-1 checkers are ever active (§VI-A).
+func Fig13(o Options) ([]CoreRow, error) {
+	runs, err := o.sweep(o.spec("fig13", corePoints(), true))
 	if err != nil {
 		return nil, err
 	}
@@ -539,14 +547,11 @@ type SchemeRow struct {
 	MeanDelayNS   float64
 }
 
-// Fig1d reproduces the overhead-comparison table with measured
-// performance and the analytic area/power model, on one representative
-// workload: a single campaign whose points differ by scheme. Paper:
-// lockstep = large area+energy; RMT = large energy + performance;
-// desired (this scheme) = small everything.
-func Fig1d(o Options, workload string) ([]SchemeRow, error) {
+// fig1dSpec is the one-workload campaign whose points differ by
+// scheme; the default config is shared so only the scheme varies.
+func fig1dSpec(o Options, workload string) campaign.Spec {
 	cfg := paradet.DefaultConfig()
-	runs, err := o.sweep(campaign.Spec{
+	return campaign.Spec{
 		Name:      "fig1d",
 		Workloads: []string{workload},
 		Points: []campaign.Point{
@@ -557,11 +562,21 @@ func Fig1d(o Options, workload string) ([]SchemeRow, error) {
 		MaxInstrs:    o.MaxInstrs,
 		WithBaseline: true,
 		Parallel:     o.Parallel,
-	})
+	}
+}
+
+// Fig1d reproduces the overhead-comparison table with measured
+// performance and the analytic area/power model, on one representative
+// workload: a single campaign whose points differ by scheme. Paper:
+// lockstep = large area+energy; RMT = large energy + performance;
+// desired (this scheme) = small everything.
+func Fig1d(o Options, workload string) ([]SchemeRow, error) {
+	runs, err := o.sweep(fig1dSpec(o, workload))
 	if err != nil {
 		return nil, err
 	}
 
+	cfg := paradet.DefaultConfig()
 	ap := paradet.AreaPower(cfg)
 	apLS := paradet.AreaPowerLockstep(cfg)
 	apRMT := paradet.AreaPowerRMT(cfg, 2.0)
@@ -618,12 +633,10 @@ type Sec6DRow struct {
 	CheckerCores int
 }
 
-// Sec6D reproduces §VI-D's "bigger cores" argument: a 6-wide 4 GHz main
-// core gains sublinear single-thread performance, so a linearly scaled
-// checker pool (18 cores here) still contains the slowdown while its
-// relative area/power overhead versus the (much larger) big core falls.
-func Sec6D(o Options) ([]Sec6DRow, error) {
-	pts := []campaign.Point{
+// sec6dPoints are the §VI-D campaign points: the Table I core against
+// the aggressive big core with a linearly scaled checker pool.
+func sec6dPoints() []campaign.Point {
+	return []campaign.Point{
 		point("tableI-3w-3.2GHz", nil),
 		point("big-6w-4GHz", func(c *paradet.Config) {
 			c.BigCore = true
@@ -632,7 +645,14 @@ func Sec6D(o Options) ([]Sec6DRow, error) {
 			c.CheckerHz = 1_250_000_000
 		}),
 	}
-	runs, err := o.sweep(o.spec("sec6d", pts, true))
+}
+
+// Sec6D reproduces §VI-D's "bigger cores" argument: a 6-wide 4 GHz main
+// core gains sublinear single-thread performance, so a linearly scaled
+// checker pool (18 cores here) still contains the slowdown while its
+// relative area/power overhead versus the (much larger) big core falls.
+func Sec6D(o Options) ([]Sec6DRow, error) {
+	runs, err := o.sweep(o.spec("sec6d", sec6dPoints(), true))
 	if err != nil {
 		return nil, err
 	}
@@ -775,19 +795,25 @@ func DefaultFaultGrid() campaign.FaultGrid {
 	}
 }
 
-// FaultCov runs a deterministic fault-injection grid as a first-class
-// campaign. Paper §VI-E: every in-sphere fault that corrupts
-// architectural state is detected; pre-LFU load faults are in the ECC
-// domain and may escape.
-func FaultCov(o Options, grid campaign.FaultGrid) (*FaultCampaignReport, error) {
-	out, err := o.execute(campaign.Spec{
+// faultcovSpec is the fault-injection campaign: one Table I point per
+// workload crossed with every fault in the grid.
+func faultcovSpec(o Options, grid campaign.FaultGrid) campaign.Spec {
+	return campaign.Spec{
 		Name:      "faultcov",
 		Workloads: o.workloads(),
 		Points:    []campaign.Point{point("tableI", nil)},
 		MaxInstrs: o.MaxInstrs,
 		Parallel:  o.Parallel,
 		Faults:    &grid,
-	})
+	}
+}
+
+// FaultCov runs a deterministic fault-injection grid as a first-class
+// campaign. Paper §VI-E: every in-sphere fault that corrupts
+// architectural state is detected; pre-LFU load faults are in the ECC
+// domain and may escape.
+func FaultCov(o Options, grid campaign.FaultGrid) (*FaultCampaignReport, error) {
+	out, err := o.execute(faultcovSpec(o, grid))
 	if err != nil {
 		return nil, err
 	}
@@ -841,6 +867,47 @@ func RenderFaultCov(rep *FaultCampaignReport) string {
 // Names lists the experiment identifiers understood by RunByName.
 func Names() []string {
 	return []string{"fig1d", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "area", "sec6d", "faultcov"}
+}
+
+// SpecNamed returns the campaign spec the named experiment executes
+// under o, built by the same constructors Generate uses — including
+// sec6d's and faultcov's default workload subsets — so a consumer
+// that resolves cells from a spec (the serving layer) can never
+// disagree with an executed figure about grid order or fingerprints.
+// "area" is analytic (it runs no campaign) and unknown names are
+// errors; both are client mistakes, not reasons to simulate.
+func SpecNamed(name string, o Options) (campaign.Spec, error) {
+	switch name {
+	case "fig1d":
+		return fig1dSpec(o, "swaptions"), nil
+	case "fig7":
+		return o.spec("fig7", []campaign.Point{point("tableI", nil)}, true), nil
+	case "fig8":
+		return o.spec("fig8", []campaign.Point{point("tableI", nil)}, false), nil
+	case "fig9", "fig11":
+		return o.spec("fig9", freqPoints(), true), nil
+	case "fig10":
+		return o.spec("fig10", logPoints(LogConfigs[:4], true), true), nil
+	case "fig12":
+		return o.spec("fig12", logPoints(LogConfigs, false), false), nil
+	case "fig13":
+		return o.spec("fig13", corePoints(), true), nil
+	case "sec6d":
+		if len(o.Workloads) == 0 {
+			o.Workloads = []string{"bitcount", "stream", "bodytrack"}
+		}
+		return o.spec("sec6d", sec6dPoints(), true), nil
+	case "faultcov":
+		if len(o.Workloads) == 0 {
+			o.Workloads = []string{"bitcount"}
+		}
+		return faultcovSpec(o, DefaultFaultGrid()), nil
+	case "area":
+		return campaign.Spec{}, fmt.Errorf("experiments: %q is analytic and runs no campaign", name)
+	default:
+		return campaign.Spec{}, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
 }
 
 // Figure bundles one experiment's structured rows with its rendered

@@ -70,10 +70,37 @@ func Attribute(s *Series) Attribution {
 	return a
 }
 
+// cumulativeCounters names every cumulative Sample field and extracts
+// its value as a float64 (exact for the uint64 counters within
+// telemetry's ranges). Reconcile checks each one for monotonicity, and
+// the list is the single place to extend when Sample grows a counter:
+// a counter missing here would pass reconciliation even when it
+// regresses, and the analyzers' uint64 deltas (Phases, Attribute)
+// would then underflow into garbage fractions.
+var cumulativeCounters = []struct {
+	name string
+	get  func(*Sample) float64
+}{
+	{"cycles", func(s *Sample) float64 { return float64(s.Cycles) }},
+	{"t_ns", func(s *Sample) float64 { return s.TimeNS }},
+	{"branches", func(s *Sample) float64 { return float64(s.Branches) }},
+	{"mispredicts", func(s *Sample) float64 { return float64(s.Mispredicts) }},
+	{"stall_logfull", func(s *Sample) float64 { return float64(s.LogFullStallCycles) }},
+	{"stall_ckpt_ns", func(s *Sample) float64 { return s.CheckpointStallNS }},
+	{"stall_icache", func(s *Sample) float64 { return float64(s.ICacheStallCycles) }},
+	{"stall_rename", func(s *Sample) float64 { return float64(s.RenameStallCycles) }},
+	{"ckpts", func(s *Sample) float64 { return float64(s.Checkpoints) }},
+	{"entries", func(s *Sample) float64 { return float64(s.EntriesLogged) }},
+	{"chk_instrs", func(s *Sample) float64 { return float64(s.CheckerInstrs) }},
+}
+
 // Reconcile checks the sidecar's internal accounting: the recorded
 // sample total must equal floor(instructions/interval) — the probe
-// fires exactly on each interval boundary — and the kept samples must
-// be cumulative (monotone) and consistent with the header totals.
+// fires exactly on each interval boundary — and every cumulative
+// counter in the kept samples must be monotone non-decreasing and
+// consistent with the header totals. A regressing counter is rejected
+// here so the delta-based analyzers (Phases, Attribute) never
+// difference it into a uint64 underflow.
 func Reconcile(s *Series) error {
 	h := s.Header
 	if h.Interval == 0 {
@@ -91,8 +118,11 @@ func Reconcile(s *Series) error {
 				return fmt.Errorf("telemetry: %s: sample %d at %d instrs, previous at %d, interval %d",
 					h.Fingerprint, i, smp.Instructions, prev.Instructions, h.Interval)
 			}
-			if smp.Cycles < prev.Cycles || smp.TimeNS < prev.TimeNS {
-				return fmt.Errorf("telemetry: %s: sample %d not monotone", h.Fingerprint, i)
+			for _, c := range cumulativeCounters {
+				if c.get(smp) < c.get(prev) {
+					return fmt.Errorf("telemetry: %s: sample %d: cumulative %s regressed (%g -> %g)",
+						h.Fingerprint, i, c.name, c.get(prev), c.get(smp))
+				}
 			}
 		}
 		prev = smp

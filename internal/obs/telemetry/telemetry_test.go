@@ -197,3 +197,86 @@ func TestReadRejects(t *testing.T) {
 		t.Error("kept-count mismatch accepted")
 	}
 }
+
+// monotoneSeries builds a 5-sample series in which every cumulative
+// counter strictly increases, so any single regression is isolatable.
+func monotoneSeries() *Series {
+	p := New(500, 8)
+	p.Extra = func(s *Sample) {
+		k := s.Instructions / 500
+		s.Branches = k * 50
+		s.Mispredicts = k * 5
+		s.CheckpointStallNS = float64(k * 40)
+		s.ICacheStallCycles = k * 30
+		s.RenameStallCycles = k * 20
+		s.Checkpoints = k * 2
+		s.EntriesLogged = k * 400
+		s.CheckerInstrs = k * 450
+	}
+	for k := uint64(1); k <= 5; k++ {
+		p.Record(mkSample(k, 500)) // also sets Cycles, TimeNS, LogFullStallCycles
+	}
+	s := &Series{Samples: p.Samples()}
+	s.Header.Fingerprint = "feed0456"
+	s.Header.Finalize(p)
+	return s
+}
+
+// TestReconcileRejectsRegressingCounters: EVERY cumulative counter is
+// monotonicity-checked, not just instructions. Historically only the
+// instruction stride was verified, so a sidecar with, say, a
+// regressing checkpoint-stall counter passed reconciliation and then
+// underflowed the delta-based analyzers (Phases, Attribute) into
+// garbage fractions.
+func TestReconcileRejectsRegressingCounters(t *testing.T) {
+	if err := Reconcile(monotoneSeries()); err != nil {
+		t.Fatalf("pristine series fails reconciliation: %v", err)
+	}
+
+	cases := []struct {
+		name   string // must appear in the error
+		mutate func(ss []Sample)
+	}{
+		{"cycles", func(ss []Sample) { ss[2].Cycles = ss[1].Cycles - 1 }},
+		{"t_ns", func(ss []Sample) { ss[2].TimeNS = ss[1].TimeNS / 2 }},
+		{"branches", func(ss []Sample) { ss[2].Branches = ss[1].Branches - 1 }},
+		{"mispredicts", func(ss []Sample) { ss[2].Mispredicts = ss[1].Mispredicts - 1 }},
+		{"stall_logfull", func(ss []Sample) { ss[2].LogFullStallCycles = ss[1].LogFullStallCycles - 1 }},
+		{"stall_ckpt_ns", func(ss []Sample) { ss[2].CheckpointStallNS = ss[1].CheckpointStallNS - 1 }},
+		{"stall_icache", func(ss []Sample) { ss[2].ICacheStallCycles = ss[1].ICacheStallCycles - 1 }},
+		{"stall_rename", func(ss []Sample) { ss[2].RenameStallCycles = ss[1].RenameStallCycles - 1 }},
+		{"ckpts", func(ss []Sample) { ss[2].Checkpoints = ss[1].Checkpoints - 1 }},
+		{"entries", func(ss []Sample) { ss[2].EntriesLogged = ss[1].EntriesLogged - 1 }},
+		{"chk_instrs", func(ss []Sample) { ss[2].CheckerInstrs = ss[1].CheckerInstrs - 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := monotoneSeries()
+			tc.mutate(s.Samples)
+			err := Reconcile(s)
+			if err == nil {
+				t.Fatalf("regressing %s passed reconciliation", tc.name)
+			}
+			if !strings.Contains(err.Error(), "regressed") || !strings.Contains(err.Error(), tc.name) {
+				t.Fatalf("error %q does not name the regressing counter %s", err, tc.name)
+			}
+		})
+	}
+
+	// The on-disk path must reject the same malformation: a sidecar
+	// written with a regressing counter fails reconciliation after the
+	// LoadDir round trip pdreport uses.
+	bad := monotoneSeries()
+	bad.Samples[2].CheckpointStallNS = 0
+	dir := t.TempDir()
+	if _, err := bad.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	series, err := LoadDir(dir)
+	if err != nil || len(series) != 1 {
+		t.Fatalf("LoadDir: %v (%d series)", err, len(series))
+	}
+	if err := Reconcile(series[0]); err == nil {
+		t.Fatal("regressing sidecar passed reconciliation after disk round trip")
+	}
+}

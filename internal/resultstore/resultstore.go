@@ -294,6 +294,61 @@ func (s *Store) Get(k Key) (*Cell, bool) {
 	return c, ok
 }
 
+// GetFingerprint loads a cell by fingerprint alone — the
+// content-addressed read path for consumers (like the serving layer)
+// that hold a fingerprint but not the key it hashes. Lookup order and
+// integrity checks match Get: loose tree first, then packed segments;
+// damaged or mismatched cells report a miss. A malformed fingerprint
+// is simply a miss too — by construction nothing can be stored under
+// it.
+func (s *Store) GetFingerprint(fp string) (*Cell, bool) {
+	if !ValidFingerprint(fp) {
+		return nil, false
+	}
+	if data, err := os.ReadFile(s.cellPath(fp)); err == nil {
+		var c Cell
+		if json.Unmarshal(data, &c) == nil && c.Schema == SchemaVersion && c.Fingerprint == fp {
+			obsReadLoose.Inc()
+			if obs.Enabled() {
+				obs.Emit(obs.Entry{Event: "store_hit", Workload: c.Workload, Scheme: c.Scheme, Hit: true, Detail: "loose"})
+			}
+			return &c, true
+		}
+	}
+	c, ok := s.segGet(fp)
+	if ok {
+		obsReadSegment.Inc()
+	} else {
+		obsReadMiss.Inc()
+	}
+	if obs.Enabled() {
+		if ok {
+			obs.Emit(obs.Entry{Event: "store_hit", Workload: c.Workload, Scheme: c.Scheme, Hit: true, Detail: "segment"})
+		} else {
+			obs.Emit(obs.Entry{Event: "store_miss", Detail: "fingerprint"})
+		}
+	}
+	return c, ok
+}
+
+// ValidFingerprint reports whether fp is a well-formed cell
+// fingerprint: exactly 64 lowercase hex digits, the shape
+// Key.Fingerprint produces. cellPath indexes fp[:2], so this is also
+// the guard that keeps attacker-shaped fingerprints ("..", "", path
+// separators) out of the on-disk layout.
+func ValidFingerprint(fp string) bool {
+	if len(fp) != 64 {
+		return false
+	}
+	for i := 0; i < len(fp); i++ {
+		c := fp[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Put stores a cell under its key, filling the schema and fingerprint
 // fields. The cell file is written to a temp file in the target
 // directory and renamed into place, so readers in other processes only

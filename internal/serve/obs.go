@@ -1,0 +1,25 @@
+package serve
+
+import "paradet/internal/obs"
+
+// Serving metrics, registered once at package init like the campaign
+// and store metrics, so every pdserve (or embedded Server) exports
+// them on /metrics alongside the engine's own counters. The
+// serve-equivalence CI job asserts paradet_serve_sims_total == 0
+// against a warm store — the "serving never re-simulates" contract as
+// a scrapeable number.
+var (
+	obsRequests = obs.Default().CounterVec("paradet_serve_requests_total",
+		"HTTP requests served, by route.", "route")
+	obsReqSeconds = obs.Default().Histogram("paradet_serve_request_seconds",
+		"End-to-end request latency, seconds.", obs.DurationBuckets)
+	obsCells    = obs.Default().CounterVec("paradet_serve_cells_total", "Cell lookups, by result.", "state")
+	obsCellHit  = obsCells.With("hit")
+	obsCellMiss = obsCells.With("miss")
+	obsSims     = obs.Default().Counter("paradet_serve_sims_total",
+		"Simulations performed to answer requests (cells plus reference runs); stays zero on a warm store.")
+	obsShared = obs.Default().Counter("paradet_serve_singleflight_shared_total",
+		"Requests that waited on another request's identical in-flight work instead of simulating themselves.")
+	obsInflight = obs.Default().Gauge("paradet_serve_inflight",
+		"HTTP requests currently in flight.")
+)
